@@ -1,0 +1,73 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's figures (or headline
+numbers) at the paper's own workload scale and prints the same
+rows/series the paper reports, alongside the published values. The
+``FDW_BENCH_SCALE`` environment variable (a float in (0, 1]) scales the
+waveform counts down for quick smoke runs; 1.0 (default) is paper scale.
+
+Seeds: each (experiment, repeat) pair derives its pool seed from the
+experiment name, so benchmarks are independent and reproducible.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.config import FdwConfig
+from repro.core.submit_osg import FdwBatchResult, run_fdw_batch
+from repro.rng import derive_seed
+from repro.units import to_hours
+
+#: The paper's three-run averaging (Section 4.1: "running three DAGMans
+#: for each quantity").
+N_REPEATS = 3
+
+#: Full and small Chilean inputs (121 / 2 stations).
+FULL_INPUT = 121
+SMALL_INPUT = 2
+
+
+def bench_scale() -> float:
+    """Workload scale factor from FDW_BENCH_SCALE (default: paper scale)."""
+    raw = os.environ.get("FDW_BENCH_SCALE", "1.0")
+    try:
+        scale = float(raw)
+    except ValueError as exc:
+        raise ValueError(f"FDW_BENCH_SCALE must be a float, got {raw!r}") from exc
+    if not (0.0 < scale <= 1.0):
+        raise ValueError(f"FDW_BENCH_SCALE must be in (0, 1], got {scale}")
+    return scale
+
+
+def scaled(n_waveforms: int) -> int:
+    """Scale a paper waveform count, keeping at least one chunk."""
+    return max(16, int(round(n_waveforms * bench_scale())))
+
+
+def fdw_config(n_waveforms: int, n_stations: int, name: str) -> FdwConfig:
+    """Standard experiment configuration (paper defaults)."""
+    return FdwConfig(
+        n_waveforms=n_waveforms, n_stations=n_stations, name=name, seed=derive_seed(0, name)
+    )
+
+
+def run_single(
+    n_waveforms: int, n_stations: int, name: str, repeat: int
+) -> FdwBatchResult:
+    """One single-DAGMan pool run with a derived seed."""
+    config = fdw_config(n_waveforms, n_stations, name)
+    return run_fdw_batch(config, seed=derive_seed(1, name, repeat))
+
+
+def fmt_hours(seconds: float) -> str:
+    """Render seconds as fixed-point hours."""
+    return f"{to_hours(seconds):6.2f}"
+
+
+def header(title: str, columns: str) -> None:
+    """Print a benchmark table header."""
+    print()
+    print(f"### {title}")
+    print(columns)
+    print("-" * len(columns))

@@ -1,0 +1,69 @@
+"""Ablation: phase barriers (DESIGN.md design choice).
+
+FDW phases run sequentially per DAGMan (A -> B -> C), so concurrent
+DAGMans multiply barrier stalls — one of the mechanisms behind the
+Fig 3 partitioning penalty. This ablation compares the real FDW DAG
+against a hypothetical barrier-free DAG in which C jobs only depend on
+the B job (not transitively on *all* A jobs), i.e. Phase A and Phase B/C
+pipelines overlap.
+
+(The barrier-free variant is NOT a correct FakeQuakes execution — C
+consumes A's ruptures — but it isolates how much makespan the barrier
+itself costs.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import FULL_INPUT, fdw_config, header, scaled
+from repro.condor.dagfile import DagDescription
+from repro.core.phases import plan_phases
+from repro.core.submit_osg import run_fdw_batch
+from repro.core.workflow import build_fdw_dag
+from repro.osg.pool import OSPoolSimulator
+from repro.rng import derive_seed
+from repro.units import to_hours
+
+WAVEFORMS = 4000
+
+
+def build_barrier_free_dag(config) -> DagDescription:
+    """FDW plan wired without the A->B barrier."""
+    plan = plan_phases(config)
+    dag = DagDescription(name=config.name)
+    for spec in plan.a_jobs:
+        dag.add_job(spec.name, spec, retries=config.retries)
+    dag.add_job(plan.b_job.name, plan.b_job, retries=config.retries)
+    for spec in plan.c_jobs:
+        dag.add_job(spec.name, spec, retries=config.retries)
+        dag.add_edge(plan.b_job.name, spec.name)
+    dag.validate()
+    return dag
+
+
+def _run(barrier: bool) -> float:
+    config = fdw_config(scaled(WAVEFORMS), FULL_INPUT, f"abl_barrier_{barrier}")
+    dag = build_fdw_dag(config) if barrier else build_barrier_free_dag(config)
+    pool = OSPoolSimulator(seed=derive_seed(12, barrier))
+    pool.submit_dagman(dag, name=config.name)
+    metrics = pool.run()
+    return metrics.dagmans[config.name].runtime_s
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_phase_barriers(benchmark):
+    with_barrier, without_barrier = benchmark.pedantic(
+        lambda: (_run(True), _run(False)), rounds=1, iterations=1
+    )
+    header(
+        "Ablation - A->B phase barrier (4,000 waveforms, full input)",
+        f"{'configuration':<18} {'runtime_h':>10}",
+    )
+    print(f"{'sequential phases':<18} {to_hours(with_barrier):10.2f}")
+    print(f"{'overlapped phases':<18} {to_hours(without_barrier):10.2f}")
+    cost = 100.0 * (with_barrier / without_barrier - 1.0)
+    print(f"barrier cost: {cost:.1f}% of makespan")
+    # The barrier can only delay the B job (and hence all of C); the
+    # overlapped variant must not be slower by more than noise.
+    assert without_barrier < with_barrier * 1.05

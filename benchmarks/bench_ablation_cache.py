@@ -1,0 +1,68 @@
+"""Ablation: the Stash/OSDF cache (DESIGN.md design choice).
+
+Phase C jobs stage a multi-hundred-MB GF archive plus the 928 MB
+Singularity image; the paper distributes both through Stash Cache. This
+ablation disables the warm path (cache bandwidth = origin bandwidth)
+under identical pool randomness and reports two effects:
+
+* the *aggregate transfer time* across all jobs — where the cache wins
+  by an order of magnitude (this is origin egress, the quantity Stash
+  Cache exists to protect), and
+* the *makespan* — a smaller effect, since transfers overlap across
+  hundreds of slots.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from _common import FULL_INPUT, fdw_config, header, scaled
+from repro.core.workflow import build_fdw_dag
+from repro.osg.pool import OSPoolConfig, OSPoolSimulator
+from repro.osg.transfer import TransferConfig
+from repro.rng import derive_seed
+from repro.units import to_hours
+
+WAVEFORMS = 4000
+
+
+def _run(cached: bool) -> tuple[float, float]:
+    """Return (makespan_s, aggregate_transfer_s) for one configuration."""
+    transfer = TransferConfig()
+    if not cached:
+        transfer = dataclasses.replace(
+            transfer, cache_mb_per_s=transfer.origin_mb_per_s
+        )
+    config = fdw_config(scaled(WAVEFORMS), FULL_INPUT, "abl_cache")
+    pool = OSPoolSimulator(
+        config=OSPoolConfig(transfer=transfer),
+        seed=derive_seed(11, "cache"),  # identical randomness both ways
+    )
+    pool.submit_dagman(build_fdw_dag(config), name=config.name)
+    metrics = pool.run()
+    return metrics.dagmans[config.name].runtime_s, pool.cache.total_transfer_seconds
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_stash_cache(benchmark):
+    (cached_mk, cached_xfer), (origin_mk, origin_xfer) = benchmark.pedantic(
+        lambda: (_run(True), _run(False)), rounds=1, iterations=1
+    )
+    header(
+        "Ablation - Stash cache for input delivery (4,000 waveforms)",
+        f"{'configuration':<14} {'makespan_h':>11} {'transfer_cpu_h':>15}",
+    )
+    print(f"{'with cache':<14} {to_hours(cached_mk):11.2f} {to_hours(cached_xfer):15.1f}")
+    print(f"{'origin only':<14} {to_hours(origin_mk):11.2f} {to_hours(origin_xfer):15.1f}")
+    print(
+        f"aggregate transfer time saved: "
+        f"{100.0 * (1.0 - cached_xfer / origin_xfer):.1f}%  "
+        f"(makespan delta {100.0 * (origin_mk / cached_mk - 1.0):+.1f}%)"
+    )
+    # The cache must slash aggregate transfer time (most deliveries hit
+    # a warm regional cache at 10x bandwidth)...
+    assert cached_xfer < 0.3 * origin_xfer
+    # ...and never hurt the makespan beyond noise.
+    assert cached_mk <= origin_mk * 1.05

@@ -1,0 +1,90 @@
+"""Ablation: DAGMan idle throttle and negotiator match limit.
+
+Two scheduling knobs shape the paper's wait-time and ramp-up behaviour:
+
+* ``max_idle`` — DAGMan keeps at most this many jobs idle; larger
+  windows mean earlier submission timestamps and hence longer recorded
+  queue waits (the 70 vs 189 min effect has this flavour);
+* ``match_limit_per_cycle`` — bounds how fast the negotiator can ramp
+  claims, shaping the instant-throughput onset.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from _common import FULL_INPUT, fdw_config, header, scaled
+from repro.core.submit_osg import run_fdw_batch
+from repro.osg.negotiator import NegotiatorConfig
+from repro.osg.pool import OSPoolConfig
+from repro.rng import derive_seed
+from repro.units import to_hours, to_minutes
+
+WAVEFORMS = 4000
+MAX_IDLE = [50, 500, 5000]
+MATCH_LIMITS = [20, 150, 1000]
+
+
+def _run_idle(max_idle: int) -> tuple[float, float]:
+    config = dataclasses.replace(
+        fdw_config(scaled(WAVEFORMS), FULL_INPUT, f"abl_idle{max_idle}"),
+        max_idle=max_idle,
+    )
+    result = run_fdw_batch(config, seed=derive_seed(13, max_idle))
+    name = result.dagman_names[0]
+    waits = result.metrics.wait_times_s(phase="C")
+    return result.runtime_s(name), float(np.mean(waits))
+
+
+def _run_match(limit: int) -> tuple[float, float]:
+    config = fdw_config(scaled(WAVEFORMS), FULL_INPUT, f"abl_match{limit}")
+    pool_config = OSPoolConfig(
+        negotiator=NegotiatorConfig(match_limit_per_cycle=limit)
+    )
+    result = run_fdw_batch(config, pool_config=pool_config, seed=derive_seed(14, limit))
+    name = result.dagman_names[0]
+    omega = result.metrics.instant_throughput_jpm(name)
+    # Time (s) to reach half the series' final throughput: the ramp.
+    target = omega[-1] * 0.5
+    ramp = float(np.argmax(omega >= target)) if np.any(omega >= target) else float("inf")
+    return result.runtime_s(name), ramp
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_max_idle(benchmark):
+    rows = benchmark.pedantic(
+        lambda: {m: _run_idle(m) for m in MAX_IDLE}, rounds=1, iterations=1
+    )
+    header(
+        "Ablation - DAGMan max_idle (4,000 waveforms)",
+        f"{'max_idle':>9} {'runtime_h':>10} {'mean_wait_min':>14}",
+    )
+    for m in MAX_IDLE:
+        runtime, wait = rows[m]
+        print(f"{m:>9} {to_hours(runtime):10.2f} {to_minutes(wait):14.1f}")
+    # Larger idle windows record longer queue waits (jobs sit visible in
+    # the queue instead of unreleased in DAGMan).
+    assert rows[5000][1] > rows[50][1]
+    # But makespan is dominated by pool capacity, not the throttle.
+    runtimes = [rows[m][0] for m in MAX_IDLE]
+    assert max(runtimes) < 1.5 * min(runtimes)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_match_limit(benchmark):
+    rows = benchmark.pedantic(
+        lambda: {m: _run_match(m) for m in MATCH_LIMITS}, rounds=1, iterations=1
+    )
+    header(
+        "Ablation - negotiator match limit per cycle (4,000 waveforms)",
+        f"{'limit':>7} {'runtime_h':>10} {'ramp_to_half_s':>15}",
+    )
+    for m in MATCH_LIMITS:
+        runtime, ramp = rows[m]
+        print(f"{m:>7} {to_hours(runtime):10.2f} {ramp:15.0f}")
+    # A starved matchmaker must visibly slow the ramp versus the most
+    # permissive setting.
+    assert rows[20][1] >= rows[1000][1]

@@ -1,0 +1,71 @@
+"""Micro-benchmarks of the real seismic kernels.
+
+These time the actual numerical phases (not the pool simulation):
+distance matrices, stochastic rupture generation, GF computation and
+waveform synthesis — the costs that anchor the OSG runtime model via
+:meth:`repro.osg.runtimes.RuntimeModel.calibrate_from_kernels`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.seismo.distance import DistanceMatrices
+from repro.seismo.geometry import build_chile_slab
+from repro.seismo.greens import compute_gf_bank
+from repro.seismo.ruptures import RuptureGenerator
+from repro.seismo.stations import chilean_network
+from repro.seismo.waveforms import WaveformSynthesizer
+
+
+@pytest.fixture(scope="module")
+def geometry():
+    return build_chile_slab(n_strike=20, n_dip=10)
+
+
+@pytest.fixture(scope="module")
+def distances(geometry):
+    return DistanceMatrices.from_geometry(geometry)
+
+
+@pytest.fixture(scope="module")
+def network():
+    return chilean_network(24)
+
+
+@pytest.fixture(scope="module")
+def gf_bank(geometry, network):
+    return compute_gf_bank(geometry, network)
+
+
+@pytest.fixture(scope="module")
+def generator(geometry, distances):
+    return RuptureGenerator(geometry, distances=distances)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_kernel_distance_matrices(benchmark, geometry):
+    result = benchmark(DistanceMatrices.from_geometry, geometry)
+    assert result.n_subfaults == geometry.n_subfaults
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_kernel_rupture_generation(benchmark, generator):
+    rng = np.random.default_rng(0)
+    rupture = benchmark(generator.generate, rng, "bench.000000", 8.5)
+    assert rupture.n_subfaults > 0
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_kernel_greens_functions(benchmark, geometry, network):
+    bank = benchmark(compute_gf_bank, geometry, network)
+    assert bank.n_stations == len(network)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_kernel_waveform_synthesis(benchmark, gf_bank, generator):
+    rupture = generator.generate(np.random.default_rng(1), "bench.000001", 8.5)
+    synth = WaveformSynthesizer(gf_bank)
+    ws = benchmark(synth.synthesize, rupture)
+    assert ws.n_stations == gf_bank.n_stations

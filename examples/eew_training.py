@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Train and evaluate an EEW magnitude estimator on FDW products.
+
+The paper's whole motivation in one script: synthetic large-earthquake
+catalogs exist to train earthquake-early-warning models (Lin et al.
+2021). Here we
+
+1. generate a Chilean Mw 7.6-9.1 catalog with the real kernels,
+2. fit the PGD scaling law (the operational GNSS EEW algorithm) on a
+   training split,
+3. estimate magnitudes of held-out events from their *evolving* peak
+   ground displacement — what a warning system sees in real time,
+4. report accuracy and time-to-stable-estimate, and show one event's
+   estimate sharpening second by second.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eew import PgdMagnitudeEstimator, train_test_evaluate
+from repro.eew.features import detection_times
+from repro.seismo import FakeQuakes, FakeQuakesParameters
+from repro.seismo.validation import pgd_regression
+
+params = FakeQuakesParameters(
+    n_ruptures=24,
+    n_stations=14,
+    mw_range=(7.6, 9.1),
+    mesh=(16, 8),
+    seed=2021,  # Lin et al.'s year
+)
+fq = FakeQuakes.from_parameters(params)
+print(f"generating {params.n_ruptures}-event catalog on {fq.geometry.name} "
+      f"({len(fq.network)} stations)...")
+waveform_sets = fq.run_sequential()
+ruptures = fq.phase_a_ruptures()
+
+# Train/test evaluation.
+evaluation = train_test_evaluate(fq, ruptures, waveform_sets, train_fraction=0.7)
+print()
+print(evaluation.report())
+
+# Real-time view of the largest held-out event.
+n_train = int(round(0.7 * len(ruptures)))
+test_pairs = list(zip(ruptures[n_train:], waveform_sets[n_train:]))
+rupture, ws = max(test_pairs, key=lambda pair: pair[0].actual_mw)
+
+fit = pgd_regression(
+    waveform_sets[:n_train], ruptures[:n_train], fq.geometry, fq.network,
+    min_pgd_m=1e-4,
+)
+estimator = PgdMagnitudeEstimator.from_fit(fit, min_pgd_m=1e-3)
+evolving = estimator.evolving_estimate(ws, rupture, fq.geometry, fq.network)
+
+first_trigger = float(np.min(detection_times(ws, threshold_m=1e-3)))
+print()
+print(f"largest test event: {rupture.rupture_id}, true Mw {rupture.actual_mw:.2f}, "
+      f"source duration {rupture.duration_s:.0f} s")
+print(f"first station trigger at {first_trigger:.0f} s after origin")
+print(f"{'t (s)':>6} {'Mw estimate':>12} {'error':>7}")
+for t in (30, 60, 90, 120, 180, 240, ws.n_samples - 1):
+    if t >= evolving.size:
+        break
+    value = evolving[t]
+    if np.isfinite(value):
+        print(f"{t:>6} {value:12.2f} {value - rupture.actual_mw:+7.2f}")
+    else:
+        print(f"{t:>6} {'(no data)':>12} {'-':>7}")
+
+converged = estimator.time_to_within(evolving, rupture.actual_mw, 0.3, ws.dt_s)
+print(f"\nestimate stable within +/-0.3 Mw from t = {converged:.0f} s — "
+      "minutes before shaking ends at distant population centers, which "
+      "is the early-warning value of these synthetic catalogs.")

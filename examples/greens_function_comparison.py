@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Compare the two Green's-function methods, Goldberg & Melgar style.
+
+Goldberg & Melgar (2020) validated FakeQuakes products "in both
+frequency and time domains". This study applies the same two-domain
+comparison between our two static GF engines:
+
+* the fast double-couple **point source** (default, what the FDW's
+  Phase B computes at scale), and
+* the finite-fault **Okada (1985)** solution (exact rectangular
+  dislocations in a half-space).
+
+Expectation: close agreement at far-field stations, growing divergence
+near the fault where finite-fault geometry matters — quantifying where
+the cheap approximation is trustworthy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.reporting import render_table
+from repro.seismo import (
+    Station,
+    StationNetwork,
+    build_chile_slab,
+    compute_gf_bank,
+    compute_okada_gf_bank,
+)
+from repro.seismo.distance import DistanceMatrices
+from repro.seismo.ruptures import RuptureGenerator
+from repro.seismo.spectral import compare_waveform_sets, spectral_falloff
+from repro.seismo.waveforms import WaveformSynthesizer
+
+geometry = build_chile_slab(n_strike=14, n_dip=8)
+
+# A transect of stations at increasing distance from the trench.
+stations = StationNetwork(
+    [
+        Station("NEAR", -71.9, -30.0),   # near the shallow fault edge
+        Station("CST1", -71.3, -30.0),   # coastal
+        Station("INL1", -70.3, -30.0),   # inland ~200 km
+        Station("FAR1", -68.5, -30.0),   # back-arc ~400 km
+        Station("FAR2", -66.0, -30.0),   # craton ~650 km
+    ],
+    name="transect",
+)
+
+print("computing both GF banks...")
+point_bank = compute_gf_bank(geometry, stations)
+okada_bank = compute_okada_gf_bank(geometry, stations)
+
+generator = RuptureGenerator(
+    geometry, distances=DistanceMatrices.from_geometry(geometry)
+)
+rupture = generator.generate(np.random.default_rng(8), "compare.000000", target_mw=8.6)
+print(f"scenario: Mw {rupture.actual_mw:.2f}, {rupture.n_subfaults} subfaults, "
+      f"peak slip {rupture.peak_slip_m:.1f} m")
+
+duration = 400.0
+point_ws = WaveformSynthesizer(point_bank, duration_s=duration).synthesize(rupture)
+okada_ws = WaveformSynthesizer(okada_bank, duration_s=duration).synthesize(rupture)
+
+comparison = compare_waveform_sets(point_ws, okada_ws)
+rows = []
+for i, name in enumerate(stations.names):
+    pgd_point = float(point_ws.pgd_m()[i])
+    pgd_okada = float(okada_ws.pgd_m()[i])
+    rows.append(
+        [
+            name,
+            pgd_point,
+            pgd_okada,
+            float(comparison.time_rms_m[i]),
+            float(comparison.spectral_log_misfit[i]),
+        ]
+    )
+print()
+print(render_table(
+    ["station", "pgd_point_m", "pgd_okada_m", "time_rms_m", "spec_misfit_log10"],
+    rows,
+    precision=4,
+))
+
+# Relative disagreement shrinks with distance.
+rel = comparison.time_rms_m / np.maximum(point_ws.pgd_m(), 1e-9)
+print()
+print("relative time-domain misfit along the transect:",
+      "  ".join(f"{name}={value:.0%}" for name, value in zip(stations.names, rel)))
+print("-> the point-source Phase B is adequate beyond the coast; near-fault")
+print("   studies should switch FakeQuakesParameters(gf_method='okada').")
+
+# Both engines produce physically low-frequency-dominated records.
+best = stations.names[int(np.argmax(point_ws.pgd_m()))]
+print(f"\nspectral falloff at {best}: point "
+      f"{spectral_falloff(point_ws, best):.3f}, okada "
+      f"{spectral_falloff(okada_ws, best):.3f} (<1 = displacement-like)")

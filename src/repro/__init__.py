@@ -1,0 +1,36 @@
+"""repro: a full reproduction of the FakeQuakes DAGMan Workflow (FDW).
+
+Reproduces "Accelerating Data-Intensive Seismic Research Through
+Parallel Workflow Optimization and Federated Cyberinfrastructure"
+(Adair, Rodero, Parashar, Melgar -- SC-W 2023) as an installable Python
+library:
+
+* :mod:`repro.seismo` -- a MudPy/FakeQuakes-equivalent earthquake and
+  GNSS waveform simulator,
+* :mod:`repro.condor` -- an HTCondor/DAGMan substrate,
+* :mod:`repro.osg` -- a discrete-event Open Science Pool simulator,
+* :mod:`repro.core` -- the FDW itself: configuration, phase planning,
+  DAG construction, local and OSG execution, partitioning, monitoring,
+  traces, and the paper's statistics,
+* :mod:`repro.bursting` -- the VDC bursting simulator and its three
+  policies,
+* :mod:`repro.vdc` -- the Virtual Data Collaboratory catalog/portal.
+
+Quickstart::
+
+    from repro.core import FdwConfig, run_fdw_batch
+
+    config = FdwConfig(n_waveforms=1024, n_stations=121, name="demo")
+    result = run_fdw_batch(config, seed=7)
+    summary = result.metrics.dagmans["demo"]
+    print(summary.runtime_s / 3600, "hours,", summary.throughput_jpm, "jobs/min")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every figure.
+"""
+
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "__version__"]

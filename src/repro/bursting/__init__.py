@@ -1,0 +1,36 @@
+"""The VDC bursting simulator (paper §3.1) and its three policies.
+
+Replays a traced DAGMan batch second by second and simulates offloading
+("bursting") selected OSG jobs to VDC/cloud resources:
+
+* :mod:`repro.bursting.cloud` — the simulated cloud job model (constant
+  completion times: 287 s rupture / 144 s waveform) and the EC2 cost
+  model,
+* :mod:`repro.bursting.policies` — Policy 1 (low-throughput probe),
+  Policy 2 (queue-time cap), Policy 3 (submission-gap cap),
+* :mod:`repro.bursting.simulator` — the per-second replay loop,
+* :mod:`repro.bursting.report` — detailed output and the per-second
+  instant-throughput CSV.
+"""
+
+from repro.bursting.cloud import CloudJobModel
+from repro.bursting.policies import (
+    ElasticPolicy,
+    LowThroughputPolicy,
+    QueueTimePolicy,
+    SubmissionGapPolicy,
+)
+from repro.bursting.report import render_report, write_throughput_csv
+from repro.bursting.simulator import BurstingResult, BurstingSimulator
+
+__all__ = [
+    "BurstingResult",
+    "BurstingSimulator",
+    "CloudJobModel",
+    "ElasticPolicy",
+    "LowThroughputPolicy",
+    "QueueTimePolicy",
+    "SubmissionGapPolicy",
+    "render_report",
+    "write_throughput_csv",
+]

@@ -1,0 +1,75 @@
+"""Simulated VDC/cloud job execution and cost.
+
+Paper §3.1.1: offloaded jobs complete in a *constant* time measured on
+the reference AWS machine — 287 seconds for rupture (Phase A) jobs and
+144 seconds for waveform (Phase C) jobs. §4.3 prices cloud minutes at
+$0.0017/minute (EC2 a1.xlarge on-demand). Both constants are kept
+verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PolicyError
+from repro.core.stats import EC2_A1_XLARGE_USD_PER_MINUTE, bursting_cost_usd
+
+__all__ = ["CloudJobModel", "RUPTURE_CLOUD_SECONDS", "WAVEFORM_CLOUD_SECONDS"]
+
+#: Constant simulated completion time of a bursted rupture (A) job.
+RUPTURE_CLOUD_SECONDS = 287.0
+
+#: Constant simulated completion time of a bursted waveform (C) job.
+WAVEFORM_CLOUD_SECONDS = 144.0
+
+
+@dataclass(frozen=True)
+class CloudJobModel:
+    """Cloud execution/cost model for bursted jobs.
+
+    Attributes
+    ----------
+    rupture_seconds / waveform_seconds:
+        Constant completion times by job phase.
+    usd_per_minute:
+        On-demand price per cloud minute.
+    burstable_phases:
+        Phases eligible for offloading. The paper bursts rupture and
+        waveform jobs; the single B job and the distance bootstrap stay
+        on OSG.
+    """
+
+    rupture_seconds: float = RUPTURE_CLOUD_SECONDS
+    waveform_seconds: float = WAVEFORM_CLOUD_SECONDS
+    usd_per_minute: float = EC2_A1_XLARGE_USD_PER_MINUTE
+    burstable_phases: tuple[str, ...] = ("A", "C")
+
+    def __post_init__(self) -> None:
+        if self.rupture_seconds <= 0 or self.waveform_seconds <= 0:
+            raise PolicyError("cloud completion times must be positive")
+        if self.usd_per_minute < 0:
+            raise PolicyError("cloud price must be non-negative")
+        if not self.burstable_phases:
+            raise PolicyError("at least one phase must be burstable")
+
+    def is_burstable(self, phase: str) -> bool:
+        """True when jobs of ``phase`` may be offloaded."""
+        return phase in self.burstable_phases
+
+    def duration_s(self, phase: str) -> float:
+        """Cloud completion time for a job of ``phase``.
+
+        Raises
+        ------
+        PolicyError
+            For phases that are not burstable.
+        """
+        if phase == "A":
+            return self.rupture_seconds
+        if phase == "C":
+            return self.waveform_seconds
+        raise PolicyError(f"phase {phase!r} is not burstable")
+
+    def cost_usd(self, cloud_seconds: float) -> float:
+        """Eq. (7): price of the consumed cloud time."""
+        return bursting_cost_usd(cloud_seconds / 60.0, self.usd_per_minute)

@@ -1,0 +1,239 @@
+"""The three OSG-tailored bursting policies (paper §3.1.2).
+
+Policies observe the replay state once per simulated second through a
+narrow :class:`PolicyView` and answer two kinds of bursting requests:
+
+* *burst the last unsubmitted OSG job for the phase* (Policies 1 and 3),
+* *remove a specific queued job and burst it* (Policy 2).
+
+Each policy is a small, independently testable object; the simulator
+composes any subset of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.errors import PolicyError
+
+__all__ = [
+    "PolicyView",
+    "BurstRequest",
+    "BurstingPolicy",
+    "LowThroughputPolicy",
+    "QueueTimePolicy",
+    "SubmissionGapPolicy",
+    "ElasticPolicy",
+]
+
+
+class PolicyView(Protocol):
+    """What a policy may observe about the replay at the current second."""
+
+    @property
+    def now_s(self) -> float:
+        """Seconds since batch submission."""
+        ...
+
+    @property
+    def instant_throughput_jpm(self) -> float:
+        """Paper eq. (5) at the current second."""
+        ...
+
+    @property
+    def oldest_queued_wait_s(self) -> float | None:
+        """Queue age of the longest-waiting idle burstable job, or None."""
+        ...
+
+    @property
+    def last_submission_age_s(self) -> float | None:
+        """Seconds since the most recent job submission, or None if no
+        job has been submitted yet."""
+        ...
+
+    @property
+    def has_unsubmitted_burstable(self) -> bool:
+        """True while tail jobs remain available to burst."""
+        ...
+
+
+@dataclass(frozen=True)
+class BurstRequest:
+    """A policy's decision for this second.
+
+    ``kind`` is ``"tail"`` (burst the last unsubmitted job of the
+    phase) or ``"queued"`` (remove the longest-waiting queued job and
+    burst it).
+    """
+
+    kind: str
+    policy: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("tail", "queued"):
+            raise PolicyError(f"unknown burst request kind {self.kind!r}")
+
+
+class BurstingPolicy(Protocol):
+    """Common policy interface."""
+
+    name: str
+
+    def evaluate(self, view: PolicyView) -> BurstRequest | None:
+        """Return a burst request for this second, or None."""
+        ...
+
+
+@dataclass
+class LowThroughputPolicy:
+    """Policy 1: respond to low instant throughput.
+
+    Every ``probe_s`` seconds, compare the batch's instant throughput
+    against ``threshold_jpm``; when below, burst the last unsubmitted
+    OSG job for the phase. Offloading is *disarmed* until the threshold
+    is first reached (§4.3: "preventing job-offloading until the
+    threshold was met"), so the initial ramp-up does not trigger a
+    burst storm.
+    """
+
+    probe_s: float = 10.0
+    threshold_jpm: float = 34.0
+    name: str = "policy1"
+
+    def __post_init__(self) -> None:
+        if self.probe_s < 1.0:
+            raise PolicyError(f"probe_s must be >= 1 s, got {self.probe_s}")
+        if self.threshold_jpm <= 0:
+            raise PolicyError(f"threshold must be positive, got {self.threshold_jpm}")
+        self._armed = False
+        self._next_probe = self.probe_s
+
+    def evaluate(self, view: PolicyView) -> BurstRequest | None:
+        if view.now_s < self._next_probe:
+            return None
+        self._next_probe = view.now_s + self.probe_s
+        omega = view.instant_throughput_jpm
+        if not self._armed:
+            if omega >= self.threshold_jpm:
+                self._armed = True
+            return None
+        if omega < self.threshold_jpm and view.has_unsubmitted_burstable:
+            return BurstRequest(kind="tail", policy=self.name)
+        return None
+
+
+@dataclass
+class QueueTimePolicy:
+    """Policy 2: respond to congested queues.
+
+    Checks the longest-waiting queued job each second; when its wait
+    exceeds ``max_queue_s``, it is removed from the OSG queue and
+    bursted.
+    """
+
+    max_queue_s: float = 90.0 * 60.0
+    name: str = "policy2"
+
+    def __post_init__(self) -> None:
+        if self.max_queue_s <= 0:
+            raise PolicyError(f"max_queue_s must be positive, got {self.max_queue_s}")
+
+    def evaluate(self, view: PolicyView) -> BurstRequest | None:
+        wait = view.oldest_queued_wait_s
+        if wait is not None and wait > self.max_queue_s:
+            return BurstRequest(kind="queued", policy=self.name)
+        return None
+
+
+@dataclass
+class SubmissionGapPolicy:
+    """Policy 3: respond to gaps in job submissions.
+
+    When more than ``max_gap_s`` has passed since the most recent job
+    was added to the queue, periodically (every ``probe_s``) burst the
+    last unsubmitted job in the phase.
+    """
+
+    max_gap_s: float = 10.0 * 60.0
+    probe_s: float = 30.0
+    name: str = "policy3"
+
+    def __post_init__(self) -> None:
+        if self.max_gap_s <= 0:
+            raise PolicyError(f"max_gap_s must be positive, got {self.max_gap_s}")
+        if self.probe_s < 1.0:
+            raise PolicyError(f"probe_s must be >= 1 s, got {self.probe_s}")
+        self._next_probe = 0.0
+
+    def evaluate(self, view: PolicyView) -> BurstRequest | None:
+        if view.now_s < self._next_probe:
+            return None
+        age = view.last_submission_age_s
+        if age is not None and age > self.max_gap_s and view.has_unsubmitted_burstable:
+            self._next_probe = view.now_s + self.probe_s
+            return BurstRequest(kind="tail", policy=self.name)
+        return None
+
+
+@dataclass
+class ElasticPolicy:
+    """Elastic bursting (the paper's §6 outlook).
+
+    The paper closes by aiming for "a comprehensive, elastic algorithm
+    for bursting OSG jobs to VDC resources ... scaling utilized VDC
+    resources based on OSG's common resources". This policy implements
+    that outline: it maintains an exponentially-smoothed estimate of the
+    batch's instant throughput and adapts its own bursting *rate* —
+    bursting faster the further throughput falls below the target, and
+    standing down entirely while OSG keeps up.
+
+    Parameters
+    ----------
+    target_jpm:
+        Desired batch throughput.
+    min_interval_s / max_interval_s:
+        Bounds on the adaptive time between bursts.
+    smoothing:
+        EWMA coefficient in (0, 1]; higher reacts faster.
+    """
+
+    target_jpm: float = 34.0
+    min_interval_s: float = 2.0
+    max_interval_s: float = 300.0
+    smoothing: float = 0.2
+    name: str = "elastic"
+
+    def __post_init__(self) -> None:
+        if self.target_jpm <= 0:
+            raise PolicyError(f"target must be positive, got {self.target_jpm}")
+        if not (0.0 < self.smoothing <= 1.0):
+            raise PolicyError(f"smoothing must be in (0, 1], got {self.smoothing}")
+        if not (0.0 < self.min_interval_s <= self.max_interval_s):
+            raise PolicyError(
+                f"need 0 < min_interval <= max_interval, got "
+                f"{self.min_interval_s}/{self.max_interval_s}"
+            )
+        self._ewma = 0.0
+        self._armed = False
+        self._next_burst = 0.0
+
+    def evaluate(self, view: PolicyView) -> BurstRequest | None:
+        omega = view.instant_throughput_jpm
+        self._ewma = self.smoothing * omega + (1.0 - self.smoothing) * self._ewma
+        if not self._armed:
+            if self._ewma >= self.target_jpm:
+                self._armed = True
+            return None
+        deficit = max(0.0, 1.0 - self._ewma / self.target_jpm)  # 0 = on target
+        if deficit == 0.0 or not view.has_unsubmitted_burstable:
+            return None
+        if view.now_s < self._next_burst:
+            return None
+        # Interval shrinks linearly with the deficit: a 100% deficit
+        # bursts every min_interval, a marginal one every max_interval.
+        interval = self.max_interval_s - deficit * (
+            self.max_interval_s - self.min_interval_s
+        )
+        self._next_burst = view.now_s + interval
+        return BurstRequest(kind="tail", policy=self.name)

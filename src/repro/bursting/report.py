@@ -1,0 +1,77 @@
+"""Bursting simulation output: detailed report + per-second CSV.
+
+Paper §3.1: "statistics are computed and reported in detailed output,
+and a .csv file is generated with the simulation's instantaneous
+throughput for each runtime second."
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.bursting.simulator import BurstingResult
+from repro.units import format_duration
+
+__all__ = ["render_report", "write_throughput_csv", "read_throughput_csv"]
+
+
+def render_report(result: BurstingResult) -> str:
+    """Human-readable summary of one bursting simulation."""
+    series = result.throughput_series_jpm
+    lines = [
+        f"=== VDC bursting simulation: batch {result.batch} ===",
+        f"jobs: {result.n_jobs} total, {result.n_bursted} bursted "
+        f"({result.vdc_usage_percent:.1f}% on VDC)",
+        "bursts by policy: "
+        + (
+            ", ".join(f"{k}={v}" for k, v in sorted(result.bursts_by_policy.items()))
+            or "none (control)"
+        ),
+        f"runtime: {format_duration(result.runtime_s)} "
+        f"(original {format_duration(result.original_runtime_s)}, "
+        f"{result.runtime_reduction_percent:+.1f}% reduction)",
+        f"average instant throughput: "
+        f"{result.average_instant_throughput_jpm:.2f} jobs/min "
+        f"(max {float(np.max(series)):.2f}, min {float(np.min(series)):.2f})",
+        f"cloud time: {result.cloud_seconds / 60.0:.1f} minutes, "
+        f"cost ${result.cost_usd:.2f}",
+    ]
+    return "\n".join(lines)
+
+
+def write_throughput_csv(result: BurstingResult, path: str | Path) -> Path:
+    """Write the per-second instant-throughput series."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["second", "instant_throughput_jpm"])
+        for second, value in enumerate(result.throughput_series_jpm, start=1):
+            writer.writerow([second, f"{value:.6f}"])
+    return path
+
+
+def read_throughput_csv(path: str | Path) -> np.ndarray:
+    """Read a series written by :func:`write_throughput_csv`."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"throughput csv not found: {path}")
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header != ["second", "instant_throughput_jpm"]:
+            raise TraceError(f"{path}: bad header {header!r}")
+        values = []
+        for row in reader:
+            if not row:
+                continue
+            if len(row) != 2:
+                raise TraceError(f"{path}: bad row {row!r}")
+            values.append(float(row[1]))
+    if not values:
+        raise TraceError(f"{path}: no data rows")
+    return np.asarray(values)

@@ -1,0 +1,210 @@
+"""Command-line interface: the FDW's "edit a config, run a script" UX.
+
+The paper describes the workflow's user experience as: place the source
+in a home directory, edit a configuration file, and run a script
+(§3). This module is that script::
+
+    python -m repro.cli init fdw.cfg                 # write a template config
+    python -m repro.cli run fdw.cfg                  # run on the simulated OSG
+    python -m repro.cli run fdw.cfg --local          # single-machine control
+    python -m repro.cli run fdw.cfg --dagmans 4      # partitioned DAGMans
+    python -m repro.cli trace fdw.cfg -o traces/     # export bursting CSVs
+    python -m repro.cli burst traces/fdw_batch.csv traces/fdw_jobs.csv \
+        --probe 10 --queue-min 90                    # bursting replay
+    python -m repro.cli dagfile fdw.cfg -o dag/      # write .dag + submit files
+
+All subcommands print the monitoring/report output the paper's tooling
+produces and exit non-zero on failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="FakeQuakes DAGMan Workflow (FDW) tools"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_init = sub.add_parser("init", help="write a template configuration file")
+    p_init.add_argument("config", type=Path)
+    p_init.add_argument("--waveforms", type=int, default=1024)
+    p_init.add_argument("--stations", type=int, default=121)
+
+    p_run = sub.add_parser("run", help="run the FDW")
+    p_run.add_argument("config", type=Path)
+    p_run.add_argument("--local", action="store_true", help="single-machine control")
+    p_run.add_argument("--dagmans", type=int, default=1, help="concurrent DAGMans")
+    p_run.add_argument("--seed", type=int, default=0, help="pool-side seed")
+
+    p_trace = sub.add_parser("trace", help="run on OSG and export bursting CSVs")
+    p_trace.add_argument("config", type=Path)
+    p_trace.add_argument("-o", "--output", type=Path, default=Path("."))
+    p_trace.add_argument("--seed", type=int, default=0)
+
+    p_burst = sub.add_parser("burst", help="replay a trace under bursting policies")
+    p_burst.add_argument("batch_csv", type=Path)
+    p_burst.add_argument("jobs_csv", type=Path)
+    p_burst.add_argument("--probe", type=float, default=10.0, help="Policy 1 probe (s)")
+    p_burst.add_argument(
+        "--threshold", type=float, default=34.0, help="Policy 1 threshold (JPM)"
+    )
+    p_burst.add_argument(
+        "--queue-min", type=float, default=90.0, help="Policy 2 queue cap (minutes)"
+    )
+    p_burst.add_argument(
+        "--max-burst-fraction", type=float, default=None, help="cap on bursted share"
+    )
+    p_burst.add_argument("--csv", type=Path, default=None, help="per-second output CSV")
+
+    p_dag = sub.add_parser("dagfile", help="write the .dag and submit files")
+    p_dag.add_argument("config", type=Path)
+    p_dag.add_argument("-o", "--output", type=Path, default=Path("dag"))
+
+    p_fig = sub.add_parser("figures", help="regenerate the paper-figure CSVs")
+    p_fig.add_argument("-o", "--output", type=Path, default=Path("figures"))
+    p_fig.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload scale in (0, 1]; 1.0 = paper scale",
+    )
+    return parser
+
+
+def _cmd_init(args: argparse.Namespace) -> int:
+    from repro.core.config import FdwConfig
+
+    config = FdwConfig(
+        n_waveforms=args.waveforms,
+        n_stations=args.stations,
+        name=args.config.stem,
+    )
+    path = config.write(args.config)
+    print(f"wrote template configuration to {path}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.core.config import FdwConfig
+    from repro.core.local import LocalRunner
+    from repro.core.monitor import DagmanStats
+    from repro.core.partition import partition_config
+    from repro.core.submit_osg import run_fdw_batch
+    from repro.units import format_duration
+
+    config = FdwConfig.read(args.config)
+    if args.local:
+        result = LocalRunner().run(config)
+        print(
+            f"local run: {result.n_waveform_sets} waveform sets in "
+            f"{format_duration(result.total_seconds)}"
+        )
+        for phase, seconds in result.phase_seconds.items():
+            print(f"  phase {phase}: {seconds:.2f}s")
+        return 0
+    parts = partition_config(config, args.dagmans)
+    batch = run_fdw_batch(parts, seed=args.seed)
+    for name in batch.dagman_names:
+        stats = DagmanStats.from_log_text(batch.user_logs[name])
+        print(stats.report(name))
+        print()
+    if len(parts) > 1:
+        print(
+            f"batch makespan {format_duration(batch.batch_makespan_s())}, "
+            f"aggregate throughput {batch.batch_throughput_jpm():.2f} jobs/min"
+        )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core.config import FdwConfig
+    from repro.core.submit_osg import run_fdw_batch
+    from repro.core.traces import export_traces
+
+    config = FdwConfig.read(args.config)
+    result = run_fdw_batch(config, seed=args.seed)
+    batch_csv, jobs_csv = export_traces(result, config.name, args.output)
+    print(f"wrote {batch_csv}")
+    print(f"wrote {jobs_csv}")
+    return 0
+
+
+def _cmd_burst(args: argparse.Namespace) -> int:
+    from repro.bursting import (
+        BurstingSimulator,
+        LowThroughputPolicy,
+        QueueTimePolicy,
+        render_report,
+        write_throughput_csv,
+    )
+    from repro.core.traces import read_traces
+    from repro.units import minutes
+
+    trace = read_traces(args.batch_csv, args.jobs_csv)
+    sim = BurstingSimulator(
+        trace,
+        policies=[
+            LowThroughputPolicy(probe_s=args.probe, threshold_jpm=args.threshold),
+            QueueTimePolicy(max_queue_s=minutes(args.queue_min)),
+        ],
+        max_burst_fraction=args.max_burst_fraction,
+    )
+    result = sim.run()
+    print(render_report(result))
+    if args.csv is not None:
+        path = write_throughput_csv(result, args.csv)
+        print(f"per-second throughput written to {path}")
+    return 0
+
+
+def _cmd_dagfile(args: argparse.Namespace) -> int:
+    from repro.core.config import FdwConfig
+    from repro.core.workflow import build_fdw_dag
+
+    config = FdwConfig.read(args.config)
+    dag = build_fdw_dag(config)
+    dag_path = dag.write(args.output)
+    print(f"wrote {dag_path} and {len(dag)} submit files under {args.output}")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.core.figures import export_all_figures
+
+    paths = export_all_figures(args.output, scale=args.scale)
+    for path in paths:
+        print(f"wrote {path}")
+    return 0
+
+
+_COMMANDS = {
+    "init": _cmd_init,
+    "run": _cmd_run,
+    "trace": _cmd_trace,
+    "burst": _cmd_burst,
+    "dagfile": _cmd_dagfile,
+    "figures": _cmd_figures,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,169 @@
+"""ClassAd-lite: attribute dictionaries with boolean requirement expressions.
+
+HTCondor matches jobs to machines by evaluating each side's
+``Requirements`` expression against the other side's attributes. We
+implement the small subset the FDW needs: numeric/string/bool
+attributes, comparisons, arithmetic, and the ``&&`` / ``||`` / ``!``
+connectives.
+
+Expressions are parsed with :mod:`ast` after translating the C-style
+connectives, then evaluated over a whitelisted node set — no arbitrary
+code execution.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Mapping
+
+from repro.errors import SubmitError
+
+__all__ = ["ClassAd", "evaluate_expression"]
+
+_ALLOWED_NODES = (
+    ast.Expression,
+    ast.BoolOp,
+    ast.And,
+    ast.Or,
+    ast.UnaryOp,
+    ast.Not,
+    ast.USub,
+    ast.BinOp,
+    ast.Add,
+    ast.Sub,
+    ast.Mult,
+    ast.Div,
+    ast.Compare,
+    ast.Eq,
+    ast.NotEq,
+    ast.Lt,
+    ast.LtE,
+    ast.Gt,
+    ast.GtE,
+    ast.Name,
+    ast.Load,
+    ast.Constant,
+)
+
+
+def _translate(expr: str) -> str:
+    """Translate ClassAd connectives to Python syntax."""
+    out = (
+        expr.replace("&&", " and ")
+        .replace("||", " or ")
+        .replace("=?=", "==")
+        .replace("=!=", "!=")
+    )
+    # ClassAd uses '!' for negation but '!=' must survive; replace a '!'
+    # not followed by '='.
+    chars = []
+    for i, ch in enumerate(out):
+        if ch == "!" and (i + 1 >= len(out) or out[i + 1] != "="):
+            chars.append(" not ")
+        else:
+            chars.append(ch)
+    return "".join(chars)
+
+
+def evaluate_expression(expr: str, attributes: Mapping[str, object]) -> bool | float:
+    """Evaluate a requirement expression against an attribute mapping.
+
+    Identifiers resolve case-insensitively (ClassAd semantics); unknown
+    identifiers evaluate to ``False`` (ClassAd ``UNDEFINED`` collapses
+    to not-matching under the operations we support).
+
+    Raises
+    ------
+    SubmitError
+        On syntax errors or disallowed constructs.
+    """
+    lowered = {str(k).lower(): v for k, v in attributes.items()}
+    try:
+        tree = ast.parse(_translate(expr).strip(), mode="eval")
+    except SyntaxError as exc:
+        raise SubmitError(f"bad ClassAd expression {expr!r}: {exc}") from exc
+    for node in ast.walk(tree):
+        if not isinstance(node, _ALLOWED_NODES):
+            raise SubmitError(
+                f"disallowed construct {type(node).__name__} in ClassAd "
+                f"expression {expr!r}"
+            )
+
+    def ev(node: ast.AST) -> object:
+        if isinstance(node, ast.Expression):
+            return ev(node.body)
+        if isinstance(node, ast.Constant):
+            return node.value
+        if isinstance(node, ast.Name):
+            key = node.id.lower()
+            if key == "true":
+                return True
+            if key == "false":
+                return False
+            return lowered.get(key, False)
+        if isinstance(node, ast.UnaryOp):
+            val = ev(node.operand)
+            if isinstance(node.op, ast.Not):
+                return not val
+            return -val  # type: ignore[operator]
+        if isinstance(node, ast.BoolOp):
+            vals = [ev(v) for v in node.values]
+            if isinstance(node.op, ast.And):
+                return all(vals)
+            return any(vals)
+        if isinstance(node, ast.BinOp):
+            left, right = ev(node.left), ev(node.right)
+            try:
+                if isinstance(node.op, ast.Add):
+                    return left + right  # type: ignore[operator]
+                if isinstance(node.op, ast.Sub):
+                    return left - right  # type: ignore[operator]
+                if isinstance(node.op, ast.Mult):
+                    return left * right  # type: ignore[operator]
+                return left / right  # type: ignore[operator]
+            except TypeError as exc:
+                raise SubmitError(f"type error in {expr!r}: {exc}") from exc
+        if isinstance(node, ast.Compare):
+            left = ev(node.left)
+            result = True
+            for op, comparator in zip(node.ops, node.comparators):
+                right = ev(comparator)
+                try:
+                    if isinstance(op, ast.Eq):
+                        ok = left == right
+                    elif isinstance(op, ast.NotEq):
+                        ok = left != right
+                    elif isinstance(op, ast.Lt):
+                        ok = left < right  # type: ignore[operator]
+                    elif isinstance(op, ast.LtE):
+                        ok = left <= right  # type: ignore[operator]
+                    elif isinstance(op, ast.Gt):
+                        ok = left > right  # type: ignore[operator]
+                    else:
+                        ok = left >= right  # type: ignore[operator]
+                except TypeError:
+                    ok = False  # UNDEFINED comparisons don't match
+                result = result and bool(ok)
+                left = right
+            return result
+        raise SubmitError(f"unhandled node in ClassAd expression {expr!r}")
+
+    return ev(tree)  # type: ignore[return-value]
+
+
+class ClassAd(dict):
+    """An attribute dictionary with requirement evaluation.
+
+    Keys are stored as given but matched case-insensitively via
+    :func:`evaluate_expression`.
+    """
+
+    def matches(self, requirements: str | None) -> bool:
+        """True when ``requirements`` evaluates truthy against this ad.
+
+        ``None`` or empty requirements always match (HTCondor's default
+        ``Requirements = true``).
+        """
+        if not requirements:
+            return True
+        return bool(evaluate_expression(requirements, self))

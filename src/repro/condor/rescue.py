@@ -1,0 +1,115 @@
+"""DAGMan rescue files.
+
+When a real DAGMan exits with failed nodes it writes a *rescue DAG*: a
+file recording which nodes already completed, so resubmission skips the
+finished work. FDW runs of tens of thousands of jobs make this
+essential — a transient failure near the end must not redo days of
+computation.
+
+Format (matching HTCondor's rescue semantics, simplified syntax)::
+
+    # Rescue DAG for fdw, attempt 1
+    DONE fdw_A_00000
+    DONE fdw_A_00001
+    ...
+
+:func:`write_rescue_file` snapshots an engine; :func:`apply_rescue`
+fast-forwards the DONE nodes on a fresh engine so only the remainder
+runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import DagError
+from repro.condor.dagman import DagmanEngine, NodeStatus
+
+__all__ = ["write_rescue_file", "read_rescue_file", "apply_rescue", "rescue_path"]
+
+
+def rescue_path(dag_path: str | Path, attempt: int = 1) -> Path:
+    """Conventional rescue filename: ``<dag>.rescue<NNN>``."""
+    if attempt < 1:
+        raise DagError(f"rescue attempt must be >= 1, got {attempt}")
+    dag_path = Path(dag_path)
+    return dag_path.with_name(f"{dag_path.name}.rescue{attempt:03d}")
+
+
+def write_rescue_file(
+    engine: DagmanEngine, path: str | Path, attempt: int = 1
+) -> Path:
+    """Write the DONE-node snapshot of an engine.
+
+    Any engine state can be snapshotted (HTCondor writes rescue files
+    on abort as well as failure); an engine with nothing done yields an
+    empty-but-valid rescue file.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    done = [
+        name
+        for name in engine.dag.node_names
+        if engine.status(name) is NodeStatus.DONE
+    ]
+    lines = [f"# Rescue DAG for {engine.dag.name}, attempt {attempt}"]
+    lines += [f"DONE {name}" for name in done]
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def read_rescue_file(path: str | Path) -> list[str]:
+    """Node names recorded DONE in a rescue file.
+
+    Raises
+    ------
+    DagError
+        On missing files or malformed lines.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DagError(f"rescue file not found: {path}")
+    done: list[str] = []
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 2 or parts[0].upper() != "DONE":
+            raise DagError(f"{path}:{lineno}: expected 'DONE <node>', got {raw!r}")
+        done.append(parts[1])
+    return done
+
+
+def apply_rescue(engine: DagmanEngine, done_nodes: list[str]) -> int:
+    """Fast-forward rescued nodes on a *fresh* engine.
+
+    Nodes are applied in topological order via
+    :meth:`~repro.condor.dagman.DagmanEngine.mark_done`. A rescued node
+    whose parents are not all rescued is an inconsistent rescue file
+    (it could never have completed) and raises :class:`DagError`.
+    Returns the number of nodes fast-forwarded.
+
+    The engine must be freshly constructed (no submissions yet) —
+    rescue is a start-time operation, as in DAGMan.
+    """
+    done = set(done_nodes)
+    unknown = done - set(engine.dag.node_names)
+    if unknown:
+        raise DagError(f"rescue file names unknown nodes: {sorted(unknown)}")
+    counts = engine.counts()
+    if counts[NodeStatus.SUBMITTED] or counts[NodeStatus.DONE] or counts[NodeStatus.FAILED]:
+        raise DagError("rescue must be applied to a freshly constructed engine")
+    applied = 0
+    for name in engine.dag.topological_order():
+        if name not in done:
+            continue
+        missing = [p for p in engine.dag.parents(name) if p not in done]
+        if missing:
+            raise DagError(
+                f"inconsistent rescue: {name!r} is DONE but parents "
+                f"{missing} are not"
+            )
+        engine.mark_done(name)
+        applied += 1
+    return applied

@@ -1,0 +1,184 @@
+"""HTCondor submit description files.
+
+The FDW drives OSG through submit description files ("HTCondor uses
+'submit description files' to specify job compute requirements,
+orchestrate scripts on OSG nodes, and handle input files"). This module
+round-trips the subset of the format the workflow uses:
+
+* ``key = value`` assignments (case-insensitive keys),
+* ``transfer_input_files`` as a comma list,
+* a trailing ``queue [N]`` statement,
+* ``#`` comments and blank lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import SubmitError
+from repro.condor.jobs import JobPayload, JobSpec
+
+__all__ = ["SubmitDescription"]
+
+_KNOWN_KEYS = {
+    "executable",
+    "arguments",
+    "request_cpus",
+    "request_memory",
+    "request_disk",
+    "requirements",
+    "transfer_input_files",
+    "should_transfer_files",
+    "when_to_transfer_output",
+    "output",
+    "error",
+    "log",
+    "universe",
+    "+singularityimage",
+    "+projectname",
+    "+fdw_phase",
+    "+fdw_n_items",
+    "+fdw_n_stations",
+}
+
+
+@dataclass
+class SubmitDescription:
+    """Parsed submit description.
+
+    ``commands`` holds the raw key/value pairs (keys lower-cased);
+    ``queue_count`` is the N of the ``queue`` statement.
+    """
+
+    commands: dict[str, str] = field(default_factory=dict)
+    queue_count: int = 1
+
+    # -- parsing ----------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str, source: str = "<string>") -> "SubmitDescription":
+        """Parse submit-file text.
+
+        Raises
+        ------
+        SubmitError
+            On malformed lines, unknown commands, duplicate keys, or a
+            missing/invalid ``queue`` statement.
+        """
+        commands: dict[str, str] = {}
+        queue_count: int | None = None
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            lowered = line.lower()
+            if lowered == "queue" or lowered.startswith("queue "):
+                parts = line.split()
+                if len(parts) == 1:
+                    queue_count = 1
+                elif len(parts) == 2 and parts[1].isdigit():
+                    queue_count = int(parts[1])
+                else:
+                    raise SubmitError(f"{source}:{lineno}: bad queue statement {raw!r}")
+                continue
+            if "=" not in line:
+                raise SubmitError(f"{source}:{lineno}: expected 'key = value', got {raw!r}")
+            key, _, value = line.partition("=")
+            key = key.strip().lower()
+            value = value.strip()
+            if key not in _KNOWN_KEYS:
+                raise SubmitError(f"{source}:{lineno}: unknown submit command {key!r}")
+            if key in commands:
+                raise SubmitError(f"{source}:{lineno}: duplicate command {key!r}")
+            commands[key] = value
+        if queue_count is None:
+            raise SubmitError(f"{source}: missing queue statement")
+        if queue_count < 1:
+            raise SubmitError(f"{source}: queue count must be >= 1")
+        return cls(commands=commands, queue_count=queue_count)
+
+    @classmethod
+    def read(cls, path: str | Path) -> "SubmitDescription":
+        """Parse a submit file from disk."""
+        path = Path(path)
+        return cls.parse(path.read_text(), source=str(path))
+
+    # -- rendering ----------------------------------------------------------
+
+    def render(self) -> str:
+        """Serialize back to submit-file text."""
+        lines = [f"{key} = {value}" for key, value in self.commands.items()]
+        lines.append(f"queue {self.queue_count}" if self.queue_count != 1 else "queue")
+        return "\n".join(lines) + "\n"
+
+    def write(self, path: str | Path) -> Path:
+        """Write the rendered text to disk."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.render())
+        return path
+
+    # -- conversion ----------------------------------------------------------
+
+    @staticmethod
+    def _parse_mb(value: str, key: str) -> int:
+        v = value.strip().upper()
+        try:
+            if v.endswith("GB"):
+                return int(float(v[:-2]) * 1024)
+            if v.endswith("MB"):
+                return int(float(v[:-2]))
+            return int(float(v))
+        except ValueError as exc:
+            raise SubmitError(f"bad {key} value {value!r}") from exc
+
+    def to_job_spec(self, name: str) -> JobSpec:
+        """Build a :class:`JobSpec` named ``name`` from the description."""
+        c = self.commands
+        payload = None
+        if "+fdw_phase" in c:
+            payload = JobPayload(
+                phase=c["+fdw_phase"].strip('"'),
+                n_items=int(c.get("+fdw_n_items", "1")),
+                n_stations=int(c.get("+fdw_n_stations", "121")),
+            )
+        input_files: dict[str, float] = {}
+        for item in c.get("transfer_input_files", "").split(","):
+            item = item.strip()
+            if item:
+                input_files[item] = 0.0  # sizes attached by the workflow builder
+        return JobSpec(
+            name=name,
+            executable=c.get("executable", "run_fdw_phase.sh"),
+            arguments=c.get("arguments", ""),
+            request_cpus=int(c.get("request_cpus", "4")),
+            request_memory_mb=self._parse_mb(c.get("request_memory", "8192"), "request_memory"),
+            request_disk_mb=self._parse_mb(c.get("request_disk", "16384"), "request_disk"),
+            requirements=c.get("requirements"),
+            input_files=input_files,
+            payload=payload,
+        )
+
+    @classmethod
+    def from_job_spec(cls, spec: JobSpec) -> "SubmitDescription":
+        """Render a :class:`JobSpec` as a submit description."""
+        commands = {
+            "universe": "vanilla",
+            "executable": spec.executable,
+            "arguments": spec.arguments,
+            "request_cpus": str(spec.request_cpus),
+            "request_memory": f"{spec.request_memory_mb}MB",
+            "request_disk": f"{spec.request_disk_mb}MB",
+            "should_transfer_files": "YES",
+            "when_to_transfer_output": "ON_EXIT",
+        }
+        if spec.requirements:
+            commands["requirements"] = spec.requirements
+        if spec.input_files:
+            commands["transfer_input_files"] = ",".join(spec.input_files)
+        if spec.payload is not None:
+            commands["+fdw_phase"] = f'"{spec.payload.phase}"'
+            commands["+fdw_n_items"] = str(spec.payload.n_items)
+            commands["+fdw_n_stations"] = str(spec.payload.n_stations)
+        return cls(commands=commands, queue_count=1)

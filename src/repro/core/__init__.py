@@ -1,0 +1,36 @@
+"""The FakeQuakes DAGMan Workflow (FDW) — the paper's core contribution.
+
+* :mod:`repro.core.config` — the user-edited configuration file,
+* :mod:`repro.core.phases` — job planning for the three phases,
+* :mod:`repro.core.workflow` — FDW DAG construction,
+* :mod:`repro.core.local` — single-machine execution (the AWS control),
+* :mod:`repro.core.submit_osg` — running FDW DAGs on the pool simulator,
+* :mod:`repro.core.partition` — partitioned concurrent DAGMans,
+* :mod:`repro.core.monitor` — log-based monitoring and statistics,
+* :mod:`repro.core.traces` — CSV traces for the bursting simulator,
+* :mod:`repro.core.stats` — the paper's equations (1)-(7).
+"""
+
+from repro.core.config import FdwConfig
+from repro.core.ensemble import RepeatedRuns, run_repeated
+from repro.core.local import LocalRunner, LocalRunResult
+from repro.core.monitor import DagmanStats
+from repro.core.partition import partition_config
+from repro.core.phases import PhasePlan, plan_phases
+from repro.core.submit_osg import FdwBatchResult, run_fdw_batch
+from repro.core.workflow import build_fdw_dag
+
+__all__ = [
+    "DagmanStats",
+    "FdwBatchResult",
+    "FdwConfig",
+    "LocalRunner",
+    "LocalRunResult",
+    "PhasePlan",
+    "RepeatedRuns",
+    "build_fdw_dag",
+    "partition_config",
+    "plan_phases",
+    "run_fdw_batch",
+    "run_repeated",
+]

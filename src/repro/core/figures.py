@@ -1,0 +1,270 @@
+"""Plot-ready data series for every figure in the paper.
+
+The benchmarks in ``benchmarks/`` print and assert the figures' shapes;
+this module produces the *data artifacts* — one CSV per figure series,
+ready for any plotting tool. The CLI exposes it as
+``python -m repro.cli figures``.
+
+All generators take a ``scale`` in (0, 1] that multiplies the waveform
+counts (1.0 = paper scale) and derive their seeds from the figure name,
+so outputs are deterministic and independent.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.bursting import BurstingSimulator, LowThroughputPolicy, QueueTimePolicy
+from repro.core.config import FdwConfig
+from repro.core.partition import partition_config
+from repro.core.stats import summarize
+from repro.core.submit_osg import run_fdw_batch
+from repro.core.traces import BatchTrace, JobTrace
+from repro.rng import derive_seed
+from repro.units import minutes, to_hours
+
+__all__ = [
+    "FigureSeries",
+    "fig2_series",
+    "fig3_series",
+    "fig4_series",
+    "fig5_series",
+    "export_all_figures",
+]
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """One tabular data series of a figure."""
+
+    name: str
+    columns: tuple[str, ...]
+    rows: tuple[tuple[object, ...], ...]
+
+    def __post_init__(self) -> None:
+        for i, row in enumerate(self.rows):
+            if len(row) != len(self.columns):
+                raise ConfigError(
+                    f"{self.name}: row {i} has {len(row)} cells, "
+                    f"expected {len(self.columns)}"
+                )
+
+    def write_csv(self, directory: str | Path) -> Path:
+        """Write ``<name>.csv``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{self.name}.csv"
+        with path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(self.columns)
+            writer.writerows(self.rows)
+        return path
+
+
+def _check_scale(scale: float) -> None:
+    if not (0.0 < scale <= 1.0):
+        raise ConfigError(f"scale must be in (0, 1], got {scale}")
+
+
+def _scaled(n: int, scale: float) -> int:
+    return max(16, int(round(n * scale)))
+
+
+def fig2_series(
+    scale: float = 1.0,
+    quantities: tuple[int, ...] = (1024, 2000, 5120, 10000, 24960, 50000),
+    repeats: int = 3,
+) -> FigureSeries:
+    """Fig 2: runtime/throughput vs quantity for both station lists."""
+    _check_scale(scale)
+    rows = []
+    for n_stations, label in ((2, "small"), (121, "full")):
+        for quantity in quantities:
+            runtimes, jpms = [], []
+            for repeat in range(repeats):
+                config = FdwConfig(
+                    n_waveforms=_scaled(quantity, scale),
+                    n_stations=n_stations,
+                    name=f"f2_{label}_{quantity}",
+                )
+                result = run_fdw_batch(
+                    config, seed=derive_seed(2, label, quantity, repeat)
+                )
+                summary = result.metrics.dagmans[config.name]
+                runtimes.append(to_hours(summary.runtime_s))
+                jpms.append(summary.throughput_jpm)
+            r, t = summarize(runtimes), summarize(jpms)
+            rows.append(
+                (label, quantity, round(r.mean, 3), round(r.sd, 3),
+                 round(t.mean, 3), round(t.sd, 3))
+            )
+    return FigureSeries(
+        name="fig2_quantities",
+        columns=("input", "waveforms", "runtime_h", "runtime_sd_h", "jpm", "jpm_sd"),
+        rows=tuple(rows),
+    )
+
+
+def fig3_series(
+    scale: float = 1.0,
+    total_waveforms: int = 16000,
+    levels: tuple[int, ...] = (1, 2, 4, 8),
+    repeats: int = 3,
+) -> FigureSeries:
+    """Fig 3: per-DAGMan runtime/throughput vs concurrency."""
+    _check_scale(scale)
+    rows = []
+    for k in levels:
+        runtimes, jpms = [], []
+        for repeat in range(repeats):
+            config = FdwConfig(
+                n_waveforms=_scaled(total_waveforms, scale),
+                n_stations=121,
+                name=f"f3_k{k}",
+            )
+            result = run_fdw_batch(
+                partition_config(config, k), seed=derive_seed(3, k, repeat)
+            )
+            for name in result.dagman_names:
+                runtimes.append(to_hours(result.runtime_s(name)))
+                jpms.append(result.throughput_jpm(name))
+        r, t = summarize(runtimes), summarize(jpms)
+        rows.append(
+            (k, round(r.mean, 3), round(r.sd, 3), round(t.mean, 3), round(t.sd, 3))
+        )
+    return FigureSeries(
+        name="fig3_concurrent_dagmans",
+        columns=("dagmans", "runtime_h", "runtime_sd_h", "jpm", "jpm_sd"),
+        rows=tuple(rows),
+    )
+
+
+def fig4_series(
+    scale: float = 1.0,
+    total_waveforms: int = 16000,
+    concurrency: int = 1,
+    max_points: int = 2000,
+) -> list[FigureSeries]:
+    """Fig 4: sorted exec/wait curves + per-second series for one level.
+
+    Long series are decimated to at most ``max_points`` rows.
+    """
+    _check_scale(scale)
+    config = FdwConfig(
+        n_waveforms=_scaled(total_waveforms, scale), n_stations=121,
+        name=f"f4_k{concurrency}",
+    )
+    result = run_fdw_batch(
+        partition_config(config, concurrency), seed=derive_seed(4, concurrency)
+    )
+    metrics = result.metrics
+    first = sorted(metrics.dagmans)[0]
+
+    def decimate(arr: np.ndarray) -> np.ndarray:
+        if arr.size <= max_points:
+            return arr
+        idx = np.linspace(0, arr.size - 1, max_points).astype(int)
+        return arr[idx]
+
+    out = []
+    for label, series in (
+        ("exec_sorted_s", metrics.exec_times_s(phase="C")),
+        ("wait_sorted_s", metrics.wait_times_s(phase="C")),
+        ("instant_throughput_jpm", metrics.instant_throughput_jpm(first)),
+        ("running_jobs", metrics.running_jobs()),
+    ):
+        values = decimate(np.asarray(series, dtype=float))
+        out.append(
+            FigureSeries(
+                name=f"fig4_k{concurrency}_{label}",
+                columns=("index", label),
+                rows=tuple((i, round(float(v), 4)) for i, v in enumerate(values)),
+            )
+        )
+    return out
+
+
+def _trace_from_result(result, name: str) -> BatchTrace:
+    records = sorted(
+        (r for r in result.metrics.for_dagman(name) if r.success),
+        key=lambda r: r.submit_time,
+    )
+    summary = result.metrics.dagmans[name]
+    return BatchTrace(
+        dagman=name,
+        submit_s=summary.submit_time,
+        first_execute_s=min(r.start_time for r in records),
+        end_s=summary.end_time,
+        jobs=tuple(
+            JobTrace(
+                node=r.node_name, phase=r.phase, submit_s=r.submit_time,
+                start_s=r.start_time, end_s=r.end_time,
+            )
+            for r in records
+        ),
+    )
+
+
+def fig5_series(
+    scale: float = 1.0,
+    total_waveforms: int = 16000,
+    probes: tuple[int, ...] = (1, 2, 5, 10, 30, 60, 120),
+    queue_caps_min: tuple[int, ...] = (90, 120),
+    threshold_jpm: float = 34.0,
+) -> FigureSeries:
+    """Fig 5: bursting AIT and VDC usage across the policy grid."""
+    _check_scale(scale)
+    rows = []
+    for batch_id in (1, 2):
+        config = FdwConfig(
+            n_waveforms=_scaled(total_waveforms, scale), n_stations=121,
+            name=f"f5_b{batch_id}",
+        )
+        result = run_fdw_batch(config, seed=derive_seed(5, batch_id))
+        trace = _trace_from_result(result, config.name)
+        control = BurstingSimulator(trace, policies=[]).run()
+        threshold = threshold_jpm
+        if scale < 1.0:
+            threshold = max(0.5, 0.6 * float(control.throughput_series_jpm.max()))
+        rows.append(
+            (batch_id, "control", 0, round(control.average_instant_throughput_jpm, 3),
+             0.0, round(control.runtime_s / 3600.0, 3))
+        )
+        for cap in queue_caps_min:
+            for probe in probes:
+                r = BurstingSimulator(
+                    trace,
+                    policies=[
+                        LowThroughputPolicy(probe_s=float(probe), threshold_jpm=threshold),
+                        QueueTimePolicy(max_queue_s=minutes(cap)),
+                    ],
+                ).run()
+                rows.append(
+                    (batch_id, f"q{cap}", probe,
+                     round(r.average_instant_throughput_jpm, 3),
+                     round(r.vdc_usage_percent, 3),
+                     round(r.runtime_s / 3600.0, 3))
+                )
+    return FigureSeries(
+        name="fig5_bursting",
+        columns=("batch", "config", "probe_s", "ait_jpm", "vdc_percent", "runtime_h"),
+        rows=tuple(rows),
+    )
+
+
+def export_all_figures(directory: str | Path, scale: float = 1.0) -> list[Path]:
+    """Regenerate and write every figure's data CSVs; returns the paths."""
+    _check_scale(scale)
+    directory = Path(directory)
+    paths = [fig2_series(scale).write_csv(directory)]
+    paths.append(fig3_series(scale).write_csv(directory))
+    for k in (1, 4):
+        for series in fig4_series(scale, concurrency=k):
+            paths.append(series.write_csv(directory))
+    paths.append(fig5_series(scale).write_csv(directory))
+    return paths

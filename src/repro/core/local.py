@@ -1,0 +1,202 @@
+"""Single-machine FDW execution (the paper's AWS control).
+
+The paper's baseline runs "an automated version of MudPy's FakeQuakes on
+a single host" — an AWS instance with 4 CPUs. :class:`LocalRunner`
+plays that role two ways:
+
+* :meth:`LocalRunner.run` executes the *real* seismic kernels of
+  :mod:`repro.seismo` through the same phase/chunk structure the OSG
+  jobs use, sequentially or with a process pool, and returns the actual
+  products. This is feasible at example/test scale.
+* :func:`estimate_sequential_runtime_s` predicts what the full-scale
+  workload would take on the single host by summing the calibrated
+  per-job costs — this is the control number the
+  ``bench_single_machine_vs_osg`` benchmark compares against (the
+  56.8 % headline).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.core.config import FdwConfig
+from repro.core.phases import chunk_bounds, plan_phases
+from repro.osg.runtimes import RuntimeModel
+from repro.seismo.fakequakes import FakeQuakes, FakeQuakesParameters
+from repro.seismo.mudpy_io import ProductArchive, write_rupt
+
+__all__ = ["LocalRunResult", "LocalRunner", "estimate_sequential_runtime_s"]
+
+
+@dataclass(frozen=True)
+class LocalRunResult:
+    """Products and timings of one local FDW run."""
+
+    config: FdwConfig
+    n_waveform_sets: int
+    phase_seconds: dict[str, float]
+    archive_root: Path | None = None
+    pgd_by_rupture: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall time across all phases."""
+        return sum(self.phase_seconds.values())
+
+
+def _fakequakes_for(config: FdwConfig) -> FakeQuakes:
+    params = FakeQuakesParameters(
+        n_ruptures=config.n_waveforms,
+        n_stations=config.n_stations,
+        mw_range=config.mw_range,
+        mesh=config.mesh,
+        seed=config.seed,
+    )
+    return FakeQuakes.from_parameters(params)
+
+
+def _run_c_chunk(args: tuple[FdwConfig, int, int]) -> list[float]:
+    """Worker: synthesize one C chunk, return max PGDs (for the pool path)."""
+    config, start, count = args
+    fq = _fakequakes_for(config)
+    fq.phase_a_distances()
+    ruptures = fq.phase_a_ruptures(start, count)
+    sets = fq.phase_c_waveforms(ruptures)
+    return [float(ws.pgd_m().max()) for ws in sets]
+
+
+class LocalRunner:
+    """Run an FDW configuration on this machine with real kernels.
+
+    Parameters
+    ----------
+    n_workers:
+        1 (default) mirrors MudPy's native sequential behaviour; >1
+        fans C chunks out over a process pool (each worker rebuilds the
+        GF bank, so this pays off only for CPU-bound catalogs).
+    """
+
+    def __init__(self, n_workers: int = 1) -> None:
+        if n_workers < 1:
+            raise ConfigError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers
+
+    def run(
+        self, config: FdwConfig, archive_dir: str | Path | None = None
+    ) -> LocalRunResult:
+        """Execute all three phases; optionally archive the products."""
+        fq = _fakequakes_for(config)
+        timings: dict[str, float] = {}
+        archive = (
+            ProductArchive(Path(archive_dir), name=config.name)
+            if archive_dir is not None
+            else None
+        )
+
+        t0 = time.perf_counter()
+        fq.phase_a_distances()
+        timings["dist"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        ruptures = []
+        for start, count in chunk_bounds(config.n_waveforms, config.chunk_a):
+            ruptures.extend(fq.phase_a_ruptures(start, count))
+        timings["A"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        fq.phase_b_greens_functions()
+        timings["B"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        pgd: dict[str, float] = {}
+        n_sets = 0
+        if self.n_workers == 1:
+            for start, count in chunk_bounds(config.n_waveforms, config.chunk_c):
+                sets = fq.phase_c_waveforms(ruptures[start : start + count])
+                for ws in sets:
+                    pgd[ws.rupture_id] = float(ws.pgd_m().max())
+                    n_sets += 1
+                    if archive is not None:
+                        tmp = archive.root / f"_tmp_{ws.rupture_id}.npz"
+                        ws.save(tmp)
+                        archive.add_file(
+                            tmp,
+                            kind="waveforms",
+                            label=ws.rupture_id,
+                            metadata={"mw": round(ws.metadata.get("target_mw", 0.0), 3)},
+                            move=True,
+                        )
+        else:
+            chunks = [
+                (config, start, count)
+                for start, count in chunk_bounds(config.n_waveforms, config.chunk_c)
+            ]
+            with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
+                for chunk, maxima in zip(chunks, pool.map(_run_c_chunk, chunks)):
+                    _, start, _ = chunk
+                    for offset, value in enumerate(maxima):
+                        pgd[f"{fq.geometry.name}.{start + offset:06d}"] = value
+                        n_sets += 1
+        timings["C"] = time.perf_counter() - t0
+
+        if archive is not None:
+            for rupture in ruptures:
+                tmp = archive.root / f"_tmp_{rupture.rupture_id}.rupt"
+                write_rupt(rupture, fq.geometry, tmp)
+                archive.add_file(
+                    tmp,
+                    kind="ruptures",
+                    label=rupture.rupture_id,
+                    metadata={"mw": round(rupture.actual_mw, 3)},
+                    move=True,
+                )
+
+        return LocalRunResult(
+            config=config,
+            n_waveform_sets=n_sets,
+            phase_seconds=timings,
+            archive_root=archive.root if archive is not None else None,
+            pgd_by_rupture=pgd,
+        )
+
+
+def estimate_sequential_runtime_s(
+    config: FdwConfig,
+    runtime: RuntimeModel | None = None,
+    n_cpus: int = 4,
+) -> float:
+    """Predicted single-host runtime of the full workload in seconds.
+
+    The control machine is the paper's AWS instance (4 Xeon 8175M CPUs)
+    running "an automated version of MudPy's FakeQuakes". Two facts
+    calibrate the estimate:
+
+    * the paper measured that host's per-chunk costs when deriving the
+      bursting constants — 287 s per rupture job's quantity (16
+      ruptures) and 144 s per waveform job's quantity (2 waveforms at
+      121 stations) — so per-item costs on the host are 287/16 s per
+      rupture and 72 s per full-input waveform (scaled by station
+      count);
+    * MudPy natively incorporates MPI ("MudPy already incorporates MPI
+      and has some parallelism", §2), so the sequential host spreads
+      the phase work over its ``n_cpus`` cores.
+
+    GF and distance-matrix costs use the OSG runtime model's means
+    (those phases run once and are equally parallelized).
+    """
+    from repro.bursting.cloud import RUPTURE_CLOUD_SECONDS, WAVEFORM_CLOUD_SECONDS
+
+    if n_cpus < 1:
+        raise ConfigError(f"n_cpus must be >= 1, got {n_cpus}")
+    runtime = runtime or RuntimeModel()
+    per_rupture = RUPTURE_CLOUD_SECONDS / 16.0
+    per_waveform = (WAVEFORM_CLOUD_SECONDS / 2.0) * (config.n_stations / 121.0)
+    plan = plan_phases(config)
+    total = config.n_waveforms * (per_rupture + per_waveform)
+    total += runtime.mean_seconds(plan.b_job.payload)  # type: ignore[arg-type]
+    total += runtime.dist_base_s  # the host builds the matrices once
+    return total / n_cpus

@@ -1,0 +1,112 @@
+"""The paper's statistics equations (1)-(7), as named functions.
+
+Keeping these as standalone, unit-tested functions means every
+experiment reports numbers computed exactly the way Section 4 defines
+them:
+
+* eq. (1)/(3): average total runtime,
+* eq. (2)/(4): average total throughput (jobs/minute),
+* eq. (5): instant throughput,
+* eq. (6): average instant throughput,
+* eq. (7): bursting cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.units import jobs_per_minute
+
+__all__ = [
+    "average_total_runtime",
+    "average_total_throughput",
+    "instant_throughput",
+    "average_instant_throughput",
+    "bursting_cost_usd",
+    "SeriesSummary",
+    "summarize",
+    "EC2_A1_XLARGE_USD_PER_MINUTE",
+]
+
+#: Amazon EC2 on-demand price used by the paper (a1.xlarge, 4 CPU/8 GB).
+EC2_A1_XLARGE_USD_PER_MINUTE = 0.0017
+
+
+def average_total_runtime(runtimes_s: list[float]) -> float:
+    """Eq. (1)/(3): ``sum(r_i) / N`` in seconds."""
+    if not runtimes_s:
+        raise SimulationError("no runtimes given")
+    if any(r <= 0 for r in runtimes_s):
+        raise SimulationError("runtimes must be positive")
+    return float(np.mean(runtimes_s))
+
+
+def average_total_throughput(job_counts: list[int], runtimes_s: list[float]) -> float:
+    """Eq. (2)/(4): ``sum(j_i / r_i) / N`` in jobs/minute."""
+    if not job_counts or len(job_counts) != len(runtimes_s):
+        raise SimulationError("job_counts and runtimes_s must be equal-length, non-empty")
+    return float(
+        np.mean([jobs_per_minute(j, r) for j, r in zip(job_counts, runtimes_s)])
+    )
+
+
+def instant_throughput(completed_jobs: int, elapsed_s: float) -> float:
+    """Eq. (5): ``omega = j / m`` with m the current runtime in minutes."""
+    if completed_jobs < 0:
+        raise SimulationError(f"completed_jobs must be >= 0, got {completed_jobs}")
+    return jobs_per_minute(completed_jobs, elapsed_s)
+
+
+def average_instant_throughput(series_jpm: np.ndarray) -> float:
+    """Eq. (6): mean of the per-second instant-throughput series."""
+    series = np.asarray(series_jpm, dtype=float)
+    if series.size == 0:
+        raise SimulationError("empty instant-throughput series")
+    if np.any(series < 0):
+        raise SimulationError("instant throughput cannot be negative")
+    return float(np.mean(series))
+
+
+def bursting_cost_usd(
+    cloud_minutes: float, usd_per_minute: float = EC2_A1_XLARGE_USD_PER_MINUTE
+) -> float:
+    """Eq. (7): ``delta = C_m * c``."""
+    if cloud_minutes < 0:
+        raise SimulationError(f"cloud_minutes must be >= 0, got {cloud_minutes}")
+    if usd_per_minute < 0:
+        raise SimulationError(f"usd_per_minute must be >= 0, got {usd_per_minute}")
+    return cloud_minutes * usd_per_minute
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Mean / SD / min / max of a dataset, the paper's reporting unit."""
+
+    mean: float
+    sd: float
+    minimum: float
+    maximum: float
+    n: int
+
+    def __str__(self) -> str:
+        return (
+            f"mean={self.mean:.2f} sd={self.sd:.2f} "
+            f"min={self.minimum:.2f} max={self.maximum:.2f} (n={self.n})"
+        )
+
+
+def summarize(values: list[float] | np.ndarray) -> SeriesSummary:
+    """Summary statistics; population SD like the paper's small-n tables."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise SimulationError("cannot summarize an empty dataset")
+    return SeriesSummary(
+        mean=float(np.mean(arr)),
+        sd=float(np.std(arr)),
+        minimum=float(np.min(arr)),
+        maximum=float(np.max(arr)),
+        n=int(arr.size),
+    )

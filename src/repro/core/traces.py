@@ -1,0 +1,220 @@
+"""CSV traces: the bursting simulator's input format.
+
+Paper §3.1: "This bursting simulator requires two .csv files as input
+that contain the submission, execution, and termination times of an
+actual DAGMan batch and the same information for individual jobs within
+it." This module defines that format, exports it from simulated pool
+runs, and reads it back.
+
+``<name>_batch.csv``::
+
+    dagman,submit_s,first_execute_s,end_s,n_jobs
+    fdw,0.0,95.0,50760.0,9001
+
+``<name>_jobs.csv``::
+
+    node,phase,submit_s,start_s,end_s
+    fdw_A_00000,A,30.0,95.0,245.0
+    ...
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import TraceError
+from repro.core.submit_osg import FdwBatchResult
+
+__all__ = ["JobTrace", "BatchTrace", "export_traces", "read_traces"]
+
+_BATCH_HEADER = ["dagman", "submit_s", "first_execute_s", "end_s", "n_jobs"]
+_JOBS_HEADER = ["node", "phase", "submit_s", "start_s", "end_s"]
+
+
+@dataclass(frozen=True)
+class JobTrace:
+    """Timing of one job inside a traced batch."""
+
+    node: str
+    phase: str
+    submit_s: float
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        if not (self.submit_s <= self.start_s <= self.end_s):
+            raise TraceError(
+                f"job {self.node}: non-monotone times "
+                f"({self.submit_s}, {self.start_s}, {self.end_s})"
+            )
+
+    @property
+    def exec_s(self) -> float:
+        """Execution duration."""
+        return self.end_s - self.start_s
+
+
+@dataclass(frozen=True)
+class BatchTrace:
+    """One DAGMan batch: header info plus all job timings."""
+
+    dagman: str
+    submit_s: float
+    first_execute_s: float
+    end_s: float
+    jobs: tuple[JobTrace, ...]
+
+    def __post_init__(self) -> None:
+        if not self.jobs:
+            raise TraceError(f"batch {self.dagman}: no jobs")
+        if not (self.submit_s <= self.first_execute_s <= self.end_s):
+            raise TraceError(f"batch {self.dagman}: non-monotone batch times")
+
+    @property
+    def n_jobs(self) -> int:
+        """Jobs in the batch."""
+        return len(self.jobs)
+
+    @property
+    def runtime_s(self) -> float:
+        """Batch runtime (submit to last termination)."""
+        return self.end_s - self.submit_s
+
+    def phase_jobs(self, phase: str) -> list[JobTrace]:
+        """Jobs of one FDW phase."""
+        return [j for j in self.jobs if j.phase == phase]
+
+
+def export_traces(
+    result: FdwBatchResult, dagman: str, directory: str | Path, name: str | None = None
+) -> tuple[Path, Path]:
+    """Write the two CSVs for one DAGMan of a pool run.
+
+    Only successful completions are exported (the bursting simulator
+    replays the batch's real completions, as the paper's did).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    name = name or dagman
+    summary = result.metrics.dagmans.get(dagman)
+    if summary is None:
+        raise TraceError(f"no DAGMan {dagman!r} in batch result")
+    records = [r for r in result.metrics.for_dagman(dagman) if r.success]
+    if not records:
+        raise TraceError(f"DAGMan {dagman!r} has no successful jobs to trace")
+
+    batch_path = directory / f"{name}_batch.csv"
+    jobs_path = directory / f"{name}_jobs.csv"
+
+    with batch_path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_BATCH_HEADER)
+        writer.writerow(
+            [
+                dagman,
+                f"{summary.submit_time:.3f}",
+                f"{min(r.start_time for r in records):.3f}",
+                f"{summary.end_time:.3f}",
+                str(len(records)),
+            ]
+        )
+    with jobs_path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_JOBS_HEADER)
+        for r in sorted(records, key=lambda r: r.submit_time):
+            writer.writerow(
+                [
+                    r.node_name,
+                    r.phase,
+                    f"{r.submit_time:.3f}",
+                    f"{r.start_time:.3f}",
+                    f"{r.end_time:.3f}",
+                ]
+            )
+    return batch_path, jobs_path
+
+
+def _read_csv_rows(path: Path, header: list[str]) -> list[dict[str, str]]:
+    if not path.exists():
+        raise TraceError(f"trace file not found: {path}")
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        try:
+            got_header = next(reader)
+        except StopIteration:
+            raise TraceError(f"{path}: empty trace file") from None
+        if got_header != header:
+            raise TraceError(f"{path}: bad header {got_header!r}, expected {header!r}")
+        rows = [dict(zip(header, row)) for row in reader if row]
+    if not rows:
+        raise TraceError(f"{path}: no data rows")
+    return rows
+
+
+def read_traces(batch_csv: str | Path, jobs_csv: str | Path) -> BatchTrace:
+    """Read the CSV pair back into a :class:`BatchTrace`.
+
+    Raises
+    ------
+    TraceError
+        On missing files, malformed headers or rows, or inconsistent
+        job counts.
+    """
+    batch_csv, jobs_csv = Path(batch_csv), Path(jobs_csv)
+    batch_rows = _read_csv_rows(batch_csv, _BATCH_HEADER)
+    if len(batch_rows) != 1:
+        raise TraceError(f"{batch_csv}: expected exactly one batch row")
+    b = batch_rows[0]
+    job_rows = _read_csv_rows(jobs_csv, _JOBS_HEADER)
+    try:
+        jobs = tuple(
+            JobTrace(
+                node=row["node"],
+                phase=row["phase"],
+                submit_s=float(row["submit_s"]),
+                start_s=float(row["start_s"]),
+                end_s=float(row["end_s"]),
+            )
+            for row in job_rows
+        )
+        trace = BatchTrace(
+            dagman=b["dagman"],
+            submit_s=float(b["submit_s"]),
+            first_execute_s=float(b["first_execute_s"]),
+            end_s=float(b["end_s"]),
+            jobs=jobs,
+        )
+    except (KeyError, ValueError) as exc:
+        raise TraceError(f"malformed trace row: {exc}") from exc
+    if trace.n_jobs != int(b["n_jobs"]):
+        raise TraceError(
+            f"batch header says {b['n_jobs']} jobs, jobs file has {trace.n_jobs}"
+        )
+    return trace
+
+
+def render_trace_csvs(trace: BatchTrace) -> tuple[str, str]:
+    """Render a :class:`BatchTrace` back to CSV text (round-trip tests)."""
+    batch_buf = io.StringIO()
+    writer = csv.writer(batch_buf)
+    writer.writerow(_BATCH_HEADER)
+    writer.writerow(
+        [
+            trace.dagman,
+            f"{trace.submit_s:.3f}",
+            f"{trace.first_execute_s:.3f}",
+            f"{trace.end_s:.3f}",
+            str(trace.n_jobs),
+        ]
+    )
+    jobs_buf = io.StringIO()
+    writer = csv.writer(jobs_buf)
+    writer.writerow(_JOBS_HEADER)
+    for j in trace.jobs:
+        writer.writerow(
+            [j.node, j.phase, f"{j.submit_s:.3f}", f"{j.start_s:.3f}", f"{j.end_s:.3f}"]
+        )
+    return batch_buf.getvalue(), jobs_buf.getvalue()

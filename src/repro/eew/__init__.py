@@ -1,0 +1,28 @@
+"""Earthquake early warning on FDW products.
+
+The paper's motivation: FakeQuakes synthetics "have proven valuable in
+training artificial intelligence (AI)-based earthquake early warning
+(EEW) models to identify large earthquake magnitudes" (Lin et al. 2021).
+This subpackage closes that loop on our own products:
+
+* :mod:`repro.eew.features` — evolving peak-ground-displacement (PGD)
+  features extracted from waveform sets,
+* :mod:`repro.eew.magnitude` — a real EEW algorithm: PGD scaling-law
+  magnitude estimation (Melgar et al. 2015; operationally used by
+  G-larmS/GFAST-class systems and validated for GNSS EEW by Ruhl et
+  al. 2017),
+* :mod:`repro.eew.evaluate` — the train/test harness: fit the scaling
+  law on a training catalog, estimate magnitudes on held-out events,
+  report error and time-to-stable-estimate statistics.
+"""
+
+from repro.eew.evaluate import EewEvaluation, train_test_evaluate
+from repro.eew.features import evolving_pgd
+from repro.eew.magnitude import PgdMagnitudeEstimator
+
+__all__ = [
+    "EewEvaluation",
+    "PgdMagnitudeEstimator",
+    "evolving_pgd",
+    "train_test_evaluate",
+]

@@ -1,0 +1,121 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing subsystem-specific failures when they need to.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "GeometryError",
+    "RuptureError",
+    "StationError",
+    "GreensFunctionError",
+    "WaveformError",
+    "ArchiveError",
+    "SubmitError",
+    "DagError",
+    "JobStateError",
+    "LogParseError",
+    "SimulationError",
+    "CapacityError",
+    "TraceError",
+    "PolicyError",
+    "CatalogError",
+    "StorageError",
+    "PortalError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigError(ReproError):
+    """An FDW configuration file or object is invalid."""
+
+
+# --- seismo ---------------------------------------------------------------
+
+
+class GeometryError(ReproError):
+    """A fault geometry is malformed (empty mesh, bad dims, NaNs...)."""
+
+
+class RuptureError(ReproError):
+    """Stochastic rupture generation failed or produced invalid slip."""
+
+
+class StationError(ReproError):
+    """A GNSS station network definition is invalid."""
+
+
+class GreensFunctionError(ReproError):
+    """Green's function computation or lookup failed."""
+
+
+class WaveformError(ReproError):
+    """Waveform synthesis failed (missing GFs, shape mismatch...)."""
+
+
+class ArchiveError(ReproError):
+    """Reading or writing a MudPy-style product archive failed."""
+
+
+# --- condor ---------------------------------------------------------------
+
+
+class SubmitError(ReproError):
+    """A submit description is invalid or cannot be parsed."""
+
+
+class DagError(ReproError):
+    """A DAG description is invalid (cycle, unknown node, bad file)."""
+
+
+class JobStateError(ReproError):
+    """An illegal job state transition was requested."""
+
+
+class LogParseError(ReproError):
+    """An HTCondor-style user log could not be parsed."""
+
+
+# --- osg ------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """The discrete-event pool simulation reached an invalid state."""
+
+
+class CapacityError(ReproError):
+    """A capacity process was configured with invalid parameters."""
+
+
+# --- bursting -------------------------------------------------------------
+
+
+class TraceError(ReproError):
+    """A bursting-simulator CSV trace is malformed."""
+
+
+class PolicyError(ReproError):
+    """A bursting policy was configured with invalid parameters."""
+
+
+# --- vdc ------------------------------------------------------------------
+
+
+class CatalogError(ReproError):
+    """A VDC catalog operation failed (duplicate id, missing product)."""
+
+
+class StorageError(ReproError):
+    """A federated storage operation failed."""
+
+
+class PortalError(ReproError):
+    """A VDC portal request was invalid."""

@@ -1,0 +1,146 @@
+"""Discrete-event simulation core.
+
+A minimal, deterministic event queue: callbacks scheduled at absolute or
+relative simulation times, executed in (time, sequence) order so ties
+break by scheduling order and runs are exactly reproducible. No
+wall-clock coupling anywhere — simulating a 35-hour DAGMan batch takes
+milliseconds per thousand events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+__all__ = ["EventHandle", "Simulator"]
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+@dataclass(frozen=True)
+class EventHandle:
+    """Opaque handle returned by :meth:`Simulator.schedule` for cancelling."""
+
+    _event: _Event = field(repr=False)
+
+    @property
+    def time(self) -> float:
+        """Scheduled firing time."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """True once cancelled."""
+        return self._event.cancelled
+
+
+class Simulator:
+    """The event loop.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(5.0, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [5.0]
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[_Event] = []
+        self._seq = itertools.count()
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (non-cancelled) events."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute simulation time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        event = _Event(time=float(time), seq=next(self._seq), callback=callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    @staticmethod
+    def cancel(handle: EventHandle) -> None:
+        """Cancel a scheduled event (idempotent)."""
+        handle._event.cancelled = True
+
+    def run(
+        self,
+        until: float | None = None,
+        stop_when: Callable[[], bool] | None = None,
+        max_events: int | None = None,
+    ) -> None:
+        """Process events in order.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event is strictly after this time (the
+            clock is left at ``until``).
+        stop_when:
+            Predicate checked after every event; truthy stops the run.
+        max_events:
+            Safety valve against runaway self-rescheduling loops.
+
+        Raises
+        ------
+        SimulationError
+            On re-entrant ``run`` calls or when ``max_events`` trips.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not re-entrant")
+        self._running = True
+        processed = 0
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    self._now = max(self._now, until)
+                    return
+                heapq.heappop(self._queue)
+                self._now = event.time
+                event.callback()
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway event loop?"
+                    )
+                if stop_when is not None and stop_when():
+                    return
+            if until is not None:
+                self._now = max(self._now, until)
+        finally:
+            self._running = False

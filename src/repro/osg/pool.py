@@ -1,0 +1,420 @@
+"""The OSPool simulator facade.
+
+:class:`OSPoolSimulator` wires the event core, capacity process,
+negotiator, Stash cache, and runtime model together and runs one or
+more DAGMan engines to completion, producing:
+
+* a :class:`~repro.osg.metrics.PoolMetrics` with every job record,
+* an HTCondor-style user log per DAGMan (the input to the monitoring
+  pipeline of :mod:`repro.core.monitor`).
+
+Mechanisms modelled (each is load-bearing for a figure — see DESIGN.md):
+time-varying capacity with optional preemption, negotiation cycles with
+fair round-robin across DAGMans and a per-cycle match limit, DAGMan
+submit cycles with idle throttling, cold/warm input staging, lognormal
+execution times, and rare job failure with DAG-level retries.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.condor.dagfile import DagDescription
+from repro.condor.dagman import DagmanEngine, DagmanOptions
+from repro.condor.events import JobEventType, UserLog
+from repro.condor.jobs import Job, JobState
+from repro.osg.capacity import CapacityProcess, default_ospool_capacity
+from repro.osg.des import EventHandle, Simulator
+from repro.osg.metrics import DagmanSummary, JobRecord, PoolMetrics
+from repro.osg.negotiator import NegotiatorConfig, negotiate
+from repro.osg.runtimes import RuntimeModel
+from repro.osg.schedd import ScheddQueue
+from repro.osg.transfer import StashCache, TransferConfig
+from repro.rng import RngFactory
+
+__all__ = ["OSPoolConfig", "OSPoolSimulator", "DagmanRun"]
+
+
+@dataclass(frozen=True)
+class OSPoolConfig:
+    """Pool-wide configuration.
+
+    Attributes
+    ----------
+    negotiator:
+        Matchmaking cadence and per-cycle limit.
+    dagman_cycle_s:
+        Seconds between DAGMan submit cycles.
+    transfer:
+        Stash-cache bandwidths/overheads.
+    runtime:
+        Job execution-time model.
+    success_prob:
+        Per-attempt success probability (OSG jobs do occasionally fail;
+        DAG retries absorb them).
+    preemption:
+        Evict the newest running jobs when capacity drops below the
+        running count (glidein churn).
+    max_sim_time_s:
+        Hard guard against deadlocked configurations.
+    """
+
+    negotiator: NegotiatorConfig = field(default_factory=NegotiatorConfig)
+    dagman_cycle_s: float = 30.0
+    transfer: TransferConfig = field(default_factory=TransferConfig)
+    runtime: RuntimeModel = field(default_factory=RuntimeModel)
+    success_prob: float = 0.985
+    preemption: bool = True
+    max_sim_time_s: float = 30.0 * 86400.0
+
+    def __post_init__(self) -> None:
+        if self.dagman_cycle_s <= 0:
+            raise SimulationError("dagman_cycle_s must be positive")
+        if not (0.0 < self.success_prob <= 1.0):
+            raise SimulationError(f"success_prob must be in (0, 1], got {self.success_prob}")
+        if self.max_sim_time_s <= 0:
+            raise SimulationError("max_sim_time_s must be positive")
+
+
+@dataclass
+class DagmanRun:
+    """Live state of one submitted DAGMan."""
+
+    name: str
+    engine: DagmanEngine
+    queue: ScheddQueue
+    user_log: UserLog
+    submit_time: float
+    end_time: float | None = None
+    dead: bool = False  # terminal failure (retries exhausted)
+    jobs: dict[str, list[Job]] = field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        """Completed or terminally failed."""
+        return self.end_time is not None
+
+    @property
+    def n_jobs(self) -> int:
+        """DAG size (the paper's per-DAGMan job count j_n)."""
+        return len(self.engine.dag)
+
+
+class OSPoolSimulator:
+    """Run DAGMan workflows on a simulated OSPool.
+
+    Parameters
+    ----------
+    config:
+        Pool configuration; defaults are the calibrated OSPool model.
+    capacity:
+        Capacity process; defaults to the calibrated Markov-modulated
+        OSPool process. Passed separately from the config because the
+        process object is stateful.
+    seed:
+        Root seed for all stochastic components.
+    """
+
+    def __init__(
+        self,
+        config: OSPoolConfig | None = None,
+        capacity: CapacityProcess | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.config = config or OSPoolConfig()
+        self.capacity_process = capacity or default_ospool_capacity()
+        self.rngs = RngFactory(seed)
+        self._rng_capacity = self.rngs.generator("capacity")
+        self._rng_runtime = self.rngs.generator("runtime")
+        self._rng_transfer = self.rngs.generator("transfer")
+        self._rng_failure = self.rngs.generator("failure")
+        self.sim = Simulator()
+        self.cache = StashCache(self.config.transfer)
+        self._dagmans: dict[str, DagmanRun] = {}
+        self._running: list[tuple[float, DagmanRun, str, Job, EventHandle]] = []
+        self._records: list[JobRecord] = []
+        self._evictions: dict[int, int] = {}
+        self._capacity = 0
+        self._capacity_trace: list[tuple[float, int]] = []
+        self._slot_counter = itertools.count(1)
+        # Per-pool cluster ids keep user logs reproducible run-to-run
+        # (the Job default draws from a process-global counter).
+        self._cluster_counter = itertools.count(1)
+        self._started = False
+
+    # -- submission -------------------------------------------------------
+
+    def submit_dagman(
+        self,
+        dag: DagDescription,
+        options: DagmanOptions | None = None,
+        name: str | None = None,
+        at_time: float = 0.0,
+    ) -> DagmanRun:
+        """Register a DAGMan to start at ``at_time`` (simulation seconds)."""
+        return self.submit_engine(
+            DagmanEngine(dag, options), name=name or dag.name, at_time=at_time
+        )
+
+    def submit_engine(
+        self,
+        engine: DagmanEngine,
+        name: str,
+        at_time: float = 0.0,
+    ) -> DagmanRun:
+        """Register a pre-built DAGMan engine.
+
+        This is the rescue path: an engine fast-forwarded with
+        :func:`repro.condor.rescue.apply_rescue` resubmits only the
+        remaining nodes.
+        """
+        if self._started:
+            raise SimulationError("cannot submit after run() started")
+        if at_time < 0:
+            raise SimulationError(f"at_time must be >= 0, got {at_time}")
+        if name in self._dagmans:
+            raise SimulationError(f"duplicate DAGMan name {name!r}")
+        run = DagmanRun(
+            name=name,
+            engine=engine,
+            queue=ScheddQueue(name),
+            user_log=UserLog(),
+            submit_time=at_time,
+        )
+        if engine.is_complete:
+            # A fully-rescued DAG has nothing to run.
+            run.end_time = at_time
+        self._dagmans[name] = run
+        self.sim.schedule_at(at_time, lambda: self._dagman_cycle(run))
+        return run
+
+    # -- event handlers ------------------------------------------------------
+
+    def _all_done(self) -> bool:
+        return all(d.finished for d in self._dagmans.values())
+
+    def _dagman_cycle(self, run: DagmanRun) -> None:
+        """One DAGMan submit cycle: release ready nodes into the queue.
+
+        Nodes with a PRE script run it first (on the submit host); a
+        failing PRE fails the node without ever submitting the job —
+        DAGMan semantics.
+        """
+        if run.finished:
+            return
+        batch = run.engine.pull_submissions(run.queue.n_idle)
+        for node_name in batch:
+            node = run.engine.dag.node(node_name)
+            if node.pre_script is not None:
+                script = node.pre_script
+                if script.succeeds:
+                    self.sim.schedule(
+                        script.duration_s,
+                        lambda r=run, n=node_name: self._enqueue_job(r, n),
+                    )
+                else:
+                    self.sim.schedule(
+                        script.duration_s,
+                        lambda r=run, n=node_name: self._report_result(r, n, False),
+                    )
+            else:
+                self._enqueue_job(run, node_name)
+        self.sim.schedule(self.config.dagman_cycle_s, lambda: self._dagman_cycle(run))
+
+    def _enqueue_job(self, run: DagmanRun, node_name: str) -> None:
+        """Create and queue the job for a (PRE-cleared) node."""
+        if run.finished:
+            return
+        now = self.sim.now
+        spec = run.engine.dag.node(node_name).spec
+        job = Job(spec, cluster_id=next(self._cluster_counter))
+        job.transition(JobState.IDLE, now)
+        run.user_log.record(
+            JobEventType.SUBMIT, job.cluster_id, now, host=f"schedd-{run.name}"
+        )
+        run.jobs.setdefault(node_name, []).append(job)
+        run.queue.enqueue(node_name, job)
+
+    def _negotiator_cycle(self) -> None:
+        """One negotiation cycle across all active DAGMans."""
+        if self._all_done():
+            return
+        free = max(0, self._capacity - len(self._running))
+        queues = [d.queue for d in self._dagmans.values() if not d.finished]
+        matches = negotiate(queues, free, self.config.negotiator)
+        for queue, node_name, job in matches:
+            run = self._dagmans[queue.name]
+            self._start_job(run, node_name, job)
+        self.sim.schedule(self.config.negotiator.cycle_s, self._negotiator_cycle)
+
+    def _start_job(self, run: DagmanRun, node_name: str, job: Job) -> None:
+        now = self.sim.now
+        slot = f"slot-{next(self._slot_counter)}"
+        job.transition(JobState.RUNNING, now)
+        job.slot_name = slot
+        run.user_log.record(JobEventType.EXECUTE, job.cluster_id, now, host=slot)
+        duration = self.cache.transfer_time(
+            job.spec, self._rng_transfer
+        ) + self.config.runtime.sample_seconds(job.spec, self._rng_runtime)
+        handle = self.sim.schedule(
+            duration, lambda: self._finish_job(run, node_name, job)
+        )
+        self._running.append((now, run, node_name, job, handle))
+
+    def _finish_job(self, run: DagmanRun, node_name: str, job: Job) -> None:
+        now = self.sim.now
+        self._running = [entry for entry in self._running if entry[3] is not job]
+        # Claim reuse (HTCondor default): the freed slot immediately runs
+        # the submitter's next idle job instead of idling until the next
+        # negotiation cycle. This is what lets short small-input jobs
+        # sustain the paper's high throughputs.
+        if len(self._running) < self._capacity and run.queue.n_idle > 0:
+            next_node, next_job = run.queue.pop()
+            self._start_job(run, next_node, next_job)
+        success = bool(self._rng_failure.random() < self.config.success_prob)
+        job.transition(JobState.COMPLETED if success else JobState.FAILED, now)
+        run.user_log.record(
+            JobEventType.TERMINATED,
+            job.cluster_id,
+            now,
+            return_value=0 if success else 1,
+        )
+        self._records.append(
+            JobRecord(
+                node_name=node_name,
+                dagman=run.name,
+                phase=job.spec.payload.phase if job.spec.payload else "generic",
+                cluster_id=job.cluster_id,
+                submit_time=job.submit_time or 0.0,
+                start_time=job.start_time or 0.0,
+                end_time=now,
+                n_evictions=self._evictions.get(job.cluster_id, 0),
+                success=success,
+            )
+        )
+        node = run.engine.dag.node(node_name)
+        if node.post_script is not None:
+            # DAGMan semantics: the POST script's exit code becomes the
+            # node result (masking or overriding the job's own).
+            final = node.post_script.succeeds
+            self.sim.schedule(
+                node.post_script.duration_s,
+                lambda: self._report_result(run, node_name, final),
+            )
+        else:
+            self._report_result(run, node_name, success)
+
+    def _report_result(self, run: DagmanRun, node_name: str, success: bool) -> None:
+        """Deliver a node's final result to its DAGMan engine."""
+        if run.finished:
+            return
+        now = self.sim.now
+        run.engine.on_node_result(node_name, success)
+        if run.engine.is_complete:
+            run.end_time = now
+        elif run.engine.has_failed and self._no_inflight(run):
+            run.end_time = now
+            run.dead = True
+
+    def _no_inflight(self, run: DagmanRun) -> bool:
+        if run.queue.n_idle > 0 or run.engine.n_ready > 0:
+            return False
+        return all(entry[1] is not run for entry in self._running)
+
+    def _capacity_step(self, first: bool = False) -> None:
+        if first:
+            self._capacity = self.capacity_process.initial(self._rng_capacity)
+        self._capacity_trace.append((self.sim.now, self._capacity))
+        dwell, new_capacity = self.capacity_process.next_change(self._rng_capacity)
+
+        def change() -> None:
+            self._capacity = new_capacity
+            if self.config.preemption:
+                self._preempt_to_capacity()
+            self._capacity_step()
+
+        self.sim.schedule(dwell, change)
+
+    def _preempt_to_capacity(self) -> None:
+        overflow = len(self._running) - self._capacity
+        if overflow <= 0:
+            return
+        # Evict the newest claims first (glideins that just vanished).
+        self._running.sort(key=lambda entry: entry[0])
+        victims = self._running[-overflow:]
+        del self._running[-overflow:]
+        now = self.sim.now
+        for _, run, node_name, job, handle in victims:
+            Simulator.cancel(handle)
+            job.transition(JobState.IDLE, now)
+            run.user_log.record(JobEventType.EVICTED, job.cluster_id, now)
+            self._evictions[job.cluster_id] = self._evictions.get(job.cluster_id, 0) + 1
+            run.queue.enqueue(node_name, job, front=True)
+
+    # -- running -----------------------------------------------------------------
+
+    def run(self, until: float | None = None) -> PoolMetrics:
+        """Run to completion (or ``until``); returns the metrics.
+
+        Raises
+        ------
+        SimulationError
+            If no DAGMan was submitted, or the simulation hits the
+            ``max_sim_time_s`` guard without completing.
+        """
+        if not self._dagmans:
+            raise SimulationError("no DAGMans submitted")
+        if self._started:
+            raise SimulationError("run() already called")
+        self._started = True
+        self._capacity_step(first=True)
+        self.sim.schedule_at(0.0, self._negotiator_cycle)
+        horizon = until if until is not None else self.config.max_sim_time_s
+        self.sim.run(until=horizon, stop_when=self._all_done)
+        if not self._all_done() and until is None:
+            unfinished = [n for n, d in self._dagmans.items() if not d.finished]
+            raise SimulationError(
+                f"simulation hit the {horizon}s guard with unfinished "
+                f"DAGMans: {unfinished}"
+            )
+        metrics = PoolMetrics(
+            records=list(self._records),
+            dagmans={
+                name: DagmanSummary(
+                    name=name,
+                    submit_time=d.submit_time,
+                    end_time=d.end_time if d.end_time is not None else self.sim.now,
+                    n_jobs=d.n_jobs,
+                )
+                for name, d in self._dagmans.items()
+            },
+            capacity_trace=list(self._capacity_trace),
+        )
+        return metrics
+
+    # -- introspection --------------------------------------------------------------
+
+    @property
+    def dagman_runs(self) -> dict[str, DagmanRun]:
+        """Submitted DAGMan states (for logs and assertions)."""
+        return dict(self._dagmans)
+
+    @property
+    def current_capacity(self) -> int:
+        """Capacity at the current simulation time."""
+        return self._capacity
+
+    def mean_capacity(self) -> float:
+        """Time-weighted mean capacity over the recorded trace."""
+        if len(self._capacity_trace) < 2:
+            return float(self._capacity)
+        times = np.array([t for t, _ in self._capacity_trace] + [self.sim.now])
+        caps = np.array([c for _, c in self._capacity_trace], dtype=float)
+        dt = np.diff(times)
+        if dt.sum() <= 0:
+            return float(caps[-1])
+        return float(np.sum(caps * dt) / dt.sum())

@@ -1,0 +1,181 @@
+"""Job execution-time model, calibrated to the paper's phase costs.
+
+Each FDW job's wall time on an execute node is sampled from a lognormal
+distribution around a deterministic mean that scales with the job's
+payload (phase, chunk size, station count) and the node's speed factor.
+The central values are fitted to the paper's Section 5.2.3 observations:
+
+* rupture (Phase A) jobs: "consistently executed in around 2.5 minutes"
+  for the default 16-rupture chunk;
+* waveform (Phase C) jobs: "typically took 15 to 20 minutes" with the
+  121-station list, "often completed in under 1 minute" with 2 stations,
+  for the default 2-rupture chunk;
+* GF (Phase B) jobs: "can span multiple hours depending on the length of
+  a required input list of GNSS stations";
+* the distance-matrix bootstrap: a one-off ~10-minute matrix build.
+
+:meth:`RuntimeModel.calibrate_from_kernels` optionally re-derives the
+per-item coefficients by timing the *real* seismic kernels at small
+scale and extrapolating linearly — keeping the simulated costs anchored
+to actual computation in this repository.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.condor.jobs import JobPayload, JobSpec
+
+__all__ = ["RuntimeModel"]
+
+
+@dataclass(frozen=True)
+class RuntimeModel:
+    """Sampling model for job execution times.
+
+    Mean wall time per payload::
+
+        dist:  t = dist_base_s
+        A:     t = a_base_s + n_items * a_per_rupture_s
+        B:     t = b_base_s + n_stations * b_per_station_s
+        C:     t = c_base_s + n_items * (c_per_station_s * n_stations
+                                          + c_per_rupture_s)
+
+    then multiplied by lognormal noise with ``sigma_log`` and the node
+    speed factor drawn uniformly from ``speed_range`` (heterogeneous
+    OSPool hardware).
+    """
+
+    dist_base_s: float = 600.0
+    a_base_s: float = 15.0
+    a_per_rupture_s: float = 8.4
+    b_base_s: float = 300.0
+    b_per_station_s: float = 52.0
+    c_base_s: float = 6.0
+    c_per_rupture_s: float = 4.0
+    c_per_station_s: float = 4.25
+    sigma_log: float = 0.18
+    speed_range: tuple[float, float] = (0.85, 1.30)
+
+    def __post_init__(self) -> None:
+        values = (
+            self.dist_base_s,
+            self.a_base_s,
+            self.a_per_rupture_s,
+            self.b_base_s,
+            self.b_per_station_s,
+            self.c_base_s,
+            self.c_per_rupture_s,
+            self.c_per_station_s,
+        )
+        if any(v < 0 for v in values):
+            raise SimulationError("runtime coefficients must be non-negative")
+        if self.sigma_log < 0:
+            raise SimulationError(f"sigma_log must be >= 0, got {self.sigma_log}")
+        lo, hi = self.speed_range
+        if not (0 < lo <= hi):
+            raise SimulationError(f"bad speed range {self.speed_range}")
+
+    # -- deterministic means ---------------------------------------------------
+
+    def mean_seconds(self, payload: JobPayload) -> float:
+        """Central execution time for a payload (no noise)."""
+        if payload.phase == "dist":
+            return self.dist_base_s
+        if payload.phase == "A":
+            return self.a_base_s + payload.n_items * self.a_per_rupture_s
+        if payload.phase == "B":
+            return self.b_base_s + payload.n_stations * self.b_per_station_s
+        # Phase C
+        return self.c_base_s + payload.n_items * (
+            self.c_per_station_s * payload.n_stations + self.c_per_rupture_s
+        )
+
+    # -- sampling ------------------------------------------------------------
+
+    def sample_seconds(self, spec: JobSpec, rng: np.random.Generator) -> float:
+        """Draw one execution time for a job.
+
+        Jobs without an FDW payload get a 5-minute generic duration —
+        they only appear in substrate-level tests.
+        """
+        if spec.payload is None:
+            mean = 300.0
+        else:
+            mean = self.mean_seconds(spec.payload)
+        noise = float(rng.lognormal(mean=-0.5 * self.sigma_log**2, sigma=self.sigma_log))
+        speed = float(rng.uniform(*self.speed_range))
+        return max(1.0, mean * noise / speed)
+
+    # -- calibration against the real kernels --------------------------------------
+
+    @classmethod
+    def calibrate_from_kernels(
+        cls,
+        n_probe_ruptures: int = 2,
+        n_probe_stations: int = 6,
+        mesh: tuple[int, int] = (12, 8),
+        reference: "RuntimeModel | None" = None,
+    ) -> "RuntimeModel":
+        """Derive per-item coefficients by timing the real seismo kernels.
+
+        Runs tiny Phase A/B/C workloads from :mod:`repro.seismo`, then
+        scales the measured per-item costs so that the canonical paper
+        workload (16-rupture A chunks, 121 stations, 2-rupture C chunks)
+        lands on the reference means. This keeps *relative* costs (e.g.
+        station scaling) anchored to actual computation while absolute
+        values match the paper's observed wall times.
+        """
+        # Imported here: runtimes must stay importable without the
+        # seismic stack in play (substrate layering).
+        from repro.seismo.fakequakes import FakeQuakes, FakeQuakesParameters
+
+        ref = reference or cls()
+        params = FakeQuakesParameters(
+            n_ruptures=n_probe_ruptures, n_stations=n_probe_stations, mesh=mesh, seed=7
+        )
+        fq = FakeQuakes.from_parameters(params)
+
+        t0 = time.perf_counter()
+        fq.phase_a_distances()
+        t_dist = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        ruptures = fq.phase_a_ruptures()
+        t_a = (time.perf_counter() - t0) / n_probe_ruptures
+
+        t0 = time.perf_counter()
+        fq.phase_b_greens_functions()
+        t_b = (time.perf_counter() - t0) / n_probe_stations
+
+        t0 = time.perf_counter()
+        fq.phase_c_waveforms(ruptures[:1])
+        t_c = (time.perf_counter() - t0) / n_probe_stations
+
+        # Scale measured per-item times onto the reference magnitudes,
+        # preserving measured *ratios* between phases.
+        measured = np.array([t_dist, t_a, t_b, t_c])
+        if np.any(measured <= 0):
+            raise SimulationError("kernel probe produced non-positive timings")
+        reference_vec = np.array(
+            [
+                ref.dist_base_s,
+                ref.a_per_rupture_s,
+                ref.b_per_station_s,
+                ref.c_per_station_s,
+            ]
+        )
+        # One global scale maps the probe machine onto the paper's
+        # 4-core OSG nodes (least-squares in log space).
+        scale = float(np.exp(np.mean(np.log(reference_vec) - np.log(measured))))
+        return replace(
+            ref,
+            dist_base_s=t_dist * scale,
+            a_per_rupture_s=t_a * scale,
+            b_per_station_s=t_b * scale,
+            c_per_station_s=t_c * scale,
+        )

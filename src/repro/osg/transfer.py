@@ -1,0 +1,112 @@
+"""Stash/OSDF cache model: input-file delivery times.
+
+Every FDW job ships a 928 MB Singularity image plus phase inputs (the
+recyclable ``.npy`` matrices, and for Phase C the multi-GB ``.mseed`` GF
+archives). The OSG distributes these through Stash Cache: the first
+delivery of a file to a cache site pays origin bandwidth; subsequent
+deliveries hit the regional cache and are much faster.
+
+We model a configurable number of cache *sites*; each job lands at a
+random site, and the cache state is per (file, site). Transfer time is
+``size / bandwidth`` plus a fixed per-job setup overhead (scheduling,
+container start). The resulting cold-start ramp is visible in DAGMan
+instant-throughput traces and is ablated by ``bench_ablation_cache``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.condor.jobs import JobSpec
+
+__all__ = ["TransferConfig", "StashCache", "SINGULARITY_IMAGE_MB"]
+
+#: The MudPy Singularity image from the paper (Section 3).
+SINGULARITY_IMAGE_MB = 928.0
+
+
+@dataclass(frozen=True)
+class TransferConfig:
+    """Bandwidths and overheads of the delivery path.
+
+    Attributes
+    ----------
+    origin_mb_per_s:
+        Origin (cold) bandwidth per transfer.
+    cache_mb_per_s:
+        Cache-hit (warm) bandwidth.
+    n_cache_sites:
+        Number of regional cache sites jobs can land near.
+    setup_overhead_s:
+        Fixed per-job overhead: claim activation, container start.
+    include_image:
+        Charge the Singularity image on every job (it is cached like any
+        other file).
+    """
+
+    origin_mb_per_s: float = 25.0
+    cache_mb_per_s: float = 250.0
+    n_cache_sites: int = 12
+    setup_overhead_s: float = 35.0
+    include_image: bool = True
+
+    def __post_init__(self) -> None:
+        if self.origin_mb_per_s <= 0 or self.cache_mb_per_s <= 0:
+            raise SimulationError("bandwidths must be positive")
+        if self.n_cache_sites < 1:
+            raise SimulationError("need at least one cache site")
+        if self.setup_overhead_s < 0:
+            raise SimulationError("setup overhead must be non-negative")
+
+
+class StashCache:
+    """Stateful cache: tracks which files are warm at which sites."""
+
+    def __init__(self, config: TransferConfig | None = None) -> None:
+        self.config = config or TransferConfig()
+        self._warm: set[tuple[str, int]] = set()
+        self.n_cold_transfers = 0
+        self.n_warm_transfers = 0
+        self.total_transfer_seconds = 0.0
+
+    def reset(self) -> None:
+        """Drop all cache state (a fresh campaign)."""
+        self._warm.clear()
+        self.n_cold_transfers = 0
+        self.n_warm_transfers = 0
+        self.total_transfer_seconds = 0.0
+
+    def is_warm(self, filename: str, site: int) -> bool:
+        """True when ``filename`` is cached at ``site``."""
+        return (filename, site) in self._warm
+
+    def transfer_time(self, spec: JobSpec, rng: np.random.Generator) -> float:
+        """Seconds to stage all of a job's inputs at a random site.
+
+        Marks each delivered file warm at the chosen site, so later jobs
+        landing there hit the cache.
+        """
+        cfg = self.config
+        site = int(rng.integers(cfg.n_cache_sites))
+        total = cfg.setup_overhead_s
+        files = dict(spec.input_files)
+        if cfg.include_image:
+            files.setdefault("singularity.sif", SINGULARITY_IMAGE_MB)
+        for filename, size_mb in files.items():
+            if size_mb < 0:
+                raise SimulationError(f"negative file size for {filename!r}")
+            if self.is_warm(filename, site):
+                bw = cfg.cache_mb_per_s
+                self.n_warm_transfers += 1
+            else:
+                bw = cfg.origin_mb_per_s
+                self._warm.add((filename, site))
+                self.n_cold_transfers += 1
+            total += size_mb / bw
+        # Bandwidth-bound time only; the fixed setup overhead is not a
+        # transfer and would dilute cache-efficiency accounting.
+        self.total_transfer_seconds += total - cfg.setup_overhead_s
+        return total

@@ -1,0 +1,96 @@
+"""Text rendering for experiment output: tables and sparklines.
+
+Every experiment in this repository reports through the terminal (the
+paper's figures become printed series). This module centralizes the
+rendering so examples, benchmarks and the CLI produce consistent output:
+
+* :func:`sparkline` — a fixed-width unicode intensity strip of a series,
+* :func:`render_table` — aligned columns with numeric formatting,
+* :func:`series_summary_row` — one-line mean/sd/min/max rendering.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["sparkline", "render_table", "series_summary_row"]
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def sparkline(series: Sequence[float] | np.ndarray, width: int = 48) -> str:
+    """Render a series as a fixed-width intensity strip.
+
+    The series is split into ``width`` bins; each bin's mean maps to a
+    character from light to dark. An empty series renders as an empty
+    string; a constant-zero series as all-blank.
+    """
+    if width < 1:
+        raise ReproError(f"width must be >= 1, got {width}")
+    arr = np.asarray(series, dtype=float)
+    if arr.size == 0:
+        return ""
+    if not np.all(np.isfinite(arr)):
+        arr = np.nan_to_num(arr, nan=0.0, posinf=0.0, neginf=0.0)
+    bins = np.array_split(arr, min(width, arr.size))
+    means = np.array([b.mean() for b in bins])
+    top = means.max()
+    if top <= 0:
+        return " " * len(means)
+    idx = (means / top * (len(_BLOCKS) - 1)).astype(int)
+    return "".join(_BLOCKS[i] for i in idx)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    precision: int = 2,
+) -> str:
+    """Render aligned columns.
+
+    Floats are fixed to ``precision`` decimals; everything else via
+    ``str``. Column widths fit the widest cell. Raises on ragged rows.
+    """
+    if precision < 0:
+        raise ReproError(f"precision must be >= 0, got {precision}")
+
+    def fmt(value: object) -> str:
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, float):
+            return f"{value:.{precision}f}"
+        return str(value)
+
+    rendered = [[fmt(v) for v in row] for row in rows]
+    for i, row in enumerate(rendered):
+        if len(row) != len(headers):
+            raise ReproError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(str(headers[c])), *(len(r[c]) for r in rendered)) if rendered
+        else len(str(headers[c]))
+        for c in range(len(headers))
+    ]
+    lines = [
+        "  ".join(str(h).rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def series_summary_row(label: str, series: Sequence[float] | np.ndarray) -> str:
+    """One-line summary: ``label  mean=... sd=... min=... max=...``."""
+    arr = np.asarray(series, dtype=float)
+    if arr.size == 0:
+        raise ReproError(f"empty series for {label!r}")
+    return (
+        f"{label}: mean={np.mean(arr):.2f} sd={np.std(arr):.2f} "
+        f"min={np.min(arr):.2f} max={np.max(arr):.2f} (n={arr.size})"
+    )

@@ -1,0 +1,137 @@
+"""The two recyclable inter-subfault distance matrices.
+
+FakeQuakes decomposes the distance between every pair of subfaults into
+an **along-strike** component and a **down-dip** component, stored as two
+``.npy`` files. Building them is O(n_subfaults^2) and they depend only on
+the fault geometry, so they are computed once and *recycled* across every
+rupture realization — in the FDW this is exactly the bootstrap job at the
+head of Phase A ("if no .npy files are provided, a single job will create
+the matrices, which parallel jobs will then use").
+
+The anisotropic pair (Dstrike, Ddip) is what the von Kármán slip
+correlation consumes, because correlation lengths differ along strike
+and down dip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.seismo.geometry import FaultGeometry
+
+__all__ = ["DistanceMatrices"]
+
+
+@dataclass(frozen=True)
+class DistanceMatrices:
+    """Pair of (n, n) inter-subfault distance matrices in km.
+
+    Attributes
+    ----------
+    along_strike:
+        ``D_strike[i, j]``: separation of subfaults i and j measured
+        along the strike direction.
+    down_dip:
+        ``D_dip[i, j]``: separation measured along the down-dip
+        direction (distance *on* the curved interface, i.e. accumulated
+        mesh spacing, not the chord).
+    """
+
+    along_strike: np.ndarray
+    down_dip: np.ndarray
+
+    def __post_init__(self) -> None:
+        a, d = self.along_strike, self.down_dip
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise GeometryError(f"along_strike must be square, got {a.shape}")
+        if d.shape != a.shape:
+            raise GeometryError(f"matrix shapes differ: {a.shape} vs {d.shape}")
+        if not (np.all(np.isfinite(a)) and np.all(np.isfinite(d))):
+            raise GeometryError("distance matrices contain non-finite values")
+        if np.any(a < 0) or np.any(d < 0):
+            raise GeometryError("distances must be non-negative")
+
+    @property
+    def n_subfaults(self) -> int:
+        """Number of subfaults the matrices were built for."""
+        return self.along_strike.shape[0]
+
+    def total(self) -> np.ndarray:
+        """Euclidean combination sqrt(Dstrike^2 + Ddip^2)."""
+        return np.hypot(self.along_strike, self.down_dip)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_geometry(cls, geometry: FaultGeometry) -> "DistanceMatrices":
+        """Compute both matrices from a fault mesh.
+
+        Along-strike separation uses the north coordinate difference of
+        the local frame (the synthetic slab strikes north); down-dip
+        separation accumulates the on-interface mesh spacing between
+        down-dip rows, which handles the dip steepening correctly.
+        """
+        east, north, depth = geometry.enu()
+        del east  # strike separation is along-strike only
+        n = geometry.n_subfaults
+
+        # Along-strike: |north_i - north_j| (vectorized outer difference).
+        d_strike = np.abs(north[:, None] - north[None, :])
+
+        # Down-dip: on-interface arc length between dip rows. For each
+        # subfault its dip-row index determines cumulative on-fault
+        # distance from the trench; width_km is the per-row arc step.
+        dip_idx = np.asarray(geometry.dip_index(np.arange(n)))
+        width_by_row = geometry.width_km[: geometry.n_dip]
+        arc_edges = np.concatenate([[0.0], np.cumsum(width_by_row)])
+        arc_mid = 0.5 * (arc_edges[:-1] + arc_edges[1:])
+        arc = arc_mid[dip_idx]
+        d_dip = np.abs(arc[:, None] - arc[None, :])
+
+        # Sanity: zero diagonal, symmetric by construction.
+        assert d_strike.shape == (n, n) and d_dip.shape == (n, n)
+        del depth
+        return cls(along_strike=d_strike, down_dip=d_dip)
+
+    # -- the recyclable .npy pair --------------------------------------------
+
+    def save(self, directory: str | Path, prefix: str = "distances") -> tuple[Path, Path]:
+        """Write ``<prefix>_strike.npy`` and ``<prefix>_dip.npy``.
+
+        These are the artifacts the FDW Phase-A bootstrap job produces
+        and Stash Cache distributes.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        p_strike = directory / f"{prefix}_strike.npy"
+        p_dip = directory / f"{prefix}_dip.npy"
+        np.save(p_strike, self.along_strike)
+        np.save(p_dip, self.down_dip)
+        return p_strike, p_dip
+
+    @classmethod
+    def load(cls, directory: str | Path, prefix: str = "distances") -> "DistanceMatrices":
+        """Read the ``.npy`` pair written by :meth:`save`."""
+        directory = Path(directory)
+        p_strike = directory / f"{prefix}_strike.npy"
+        p_dip = directory / f"{prefix}_dip.npy"
+        if not p_strike.exists() or not p_dip.exists():
+            raise GeometryError(
+                f"distance matrices not found under {directory} (prefix {prefix!r})"
+            )
+        return cls(
+            along_strike=np.load(p_strike),
+            down_dip=np.load(p_dip),
+        )
+
+    @staticmethod
+    def exists(directory: str | Path, prefix: str = "distances") -> bool:
+        """True when both ``.npy`` files are present (recycling check)."""
+        directory = Path(directory)
+        return (directory / f"{prefix}_strike.npy").exists() and (
+            directory / f"{prefix}_dip.npy"
+        ).exists()

@@ -1,0 +1,219 @@
+"""End-to-end FakeQuakes facade and the three phase kernels.
+
+:class:`FakeQuakes` bundles geometry, stations, distance matrices, the
+rupture generator, GF computation and waveform synthesis behind one
+object with exactly the three entry points the FDW phases call:
+
+* :meth:`phase_a_distances` / :meth:`phase_a_ruptures` — Phase A,
+* :meth:`phase_b_greens_functions` — Phase B,
+* :meth:`phase_c_waveforms` — Phase C.
+
+Running the phases back-to-back on one machine (what
+:class:`repro.core.local.LocalRunner` does) reproduces MudPy's native
+sequential behaviour; the FDW instead fans the A and C kernels out as
+parallel jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.rng import RngFactory
+from repro.seismo.distance import DistanceMatrices
+from repro.seismo.geometry import FaultGeometry, build_chile_slab
+from repro.seismo.greens import GreensFunctionBank, compute_gf_bank
+from repro.seismo.ruptures import Rupture, RuptureGenerator
+from repro.seismo.stations import StationNetwork, chilean_network
+from repro.seismo.waveforms import GnssNoiseModel, WaveformSet, WaveformSynthesizer
+
+__all__ = ["FakeQuakesParameters", "FakeQuakes"]
+
+
+@dataclass(frozen=True)
+class FakeQuakesParameters:
+    """Simulation parameters (the FDW "configuration file" payload).
+
+    Attributes
+    ----------
+    n_ruptures:
+        Number of rupture scenarios / waveform sets to produce.
+    n_stations:
+        Station-list length: 121 = full Chilean input, 2 = small.
+    mw_range:
+        Target magnitude range for the catalog.
+    mesh:
+        (n_strike, n_dip) fault mesh dimensions.
+    dt_s:
+        GNSS sample interval.
+    with_noise:
+        Add the GNSS noise model to synthesized waveforms.
+    gf_method:
+        Static Green's function flavour: ``"point"`` (fast double-couple
+        point source, the default) or ``"okada"`` (finite-fault Okada
+        1985 — more accurate in the near field, ~n_subfaults times the
+        cost).
+    seed:
+        Root RNG seed; everything downstream derives from it.
+    """
+
+    n_ruptures: int = 16
+    n_stations: int = 121
+    mw_range: tuple[float, float] = (7.5, 9.2)
+    mesh: tuple[int, int] = (30, 15)
+    dt_s: float = 1.0
+    with_noise: bool = False
+    gf_method: str = "point"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_ruptures < 1:
+            raise ConfigError(f"n_ruptures must be >= 1, got {self.n_ruptures}")
+        if self.n_stations < 1:
+            raise ConfigError(f"n_stations must be >= 1, got {self.n_stations}")
+        if self.mesh[0] < 2 or self.mesh[1] < 2:
+            raise ConfigError(f"mesh must be at least 2x2, got {self.mesh}")
+        if self.mw_range[0] > self.mw_range[1]:
+            raise ConfigError(f"invalid mw_range {self.mw_range}")
+        if self.dt_s <= 0:
+            raise ConfigError(f"dt_s must be positive, got {self.dt_s}")
+        if self.gf_method not in ("point", "okada"):
+            raise ConfigError(
+                f"gf_method must be 'point' or 'okada', got {self.gf_method!r}"
+            )
+
+
+@dataclass
+class FakeQuakes:
+    """FakeQuakes simulation session.
+
+    Build one from parameters with :meth:`from_parameters`; the
+    constructor takes explicit components for tests that substitute any
+    piece.
+    """
+
+    params: FakeQuakesParameters
+    geometry: FaultGeometry
+    network: StationNetwork
+    rngs: RngFactory = field(default_factory=RngFactory)
+    _distances: DistanceMatrices | None = field(default=None, repr=False)
+    _generator: RuptureGenerator | None = field(default=None, repr=False)
+    _gf_bank: GreensFunctionBank | None = field(default=None, repr=False)
+
+    @classmethod
+    def from_parameters(cls, params: FakeQuakesParameters) -> "FakeQuakes":
+        """Standard construction: Chilean slab + synthetic network."""
+        geometry = build_chile_slab(n_strike=params.mesh[0], n_dip=params.mesh[1])
+        network = chilean_network(params.n_stations)
+        return cls(
+            params=params,
+            geometry=geometry,
+            network=network,
+            rngs=RngFactory(params.seed),
+        )
+
+    # -- Phase A -------------------------------------------------------------
+
+    def phase_a_distances(
+        self, recycled: DistanceMatrices | None = None
+    ) -> DistanceMatrices:
+        """Bootstrap step of Phase A: build or recycle the ``.npy`` pair.
+
+        With ``recycled`` provided (the FDW's normal mode), the O(n^2)
+        computation is skipped entirely — "recycling them is crucial".
+        """
+        if recycled is not None:
+            self._distances = recycled
+        elif self._distances is None:
+            self._distances = DistanceMatrices.from_geometry(self.geometry)
+        return self._distances
+
+    def _ensure_generator(self) -> RuptureGenerator:
+        if self._generator is None:
+            self._generator = RuptureGenerator(
+                self.geometry,
+                distances=self.phase_a_distances(),
+                mw_range=self.params.mw_range,
+            )
+        return self._generator
+
+    def phase_a_ruptures(
+        self, start_index: int = 0, count: int | None = None
+    ) -> list[Rupture]:
+        """Generate a chunk of rupture scenarios (one A-phase job).
+
+        Chunks are independent and deterministic: job ``k`` derives its
+        RNG from the chunk's start index, so any partition of the
+        catalog into jobs yields the same ruptures.
+        """
+        count = self.params.n_ruptures if count is None else count
+        if start_index < 0 or count < 0 or start_index + count > self.params.n_ruptures:
+            raise ConfigError(
+                f"chunk [{start_index}, {start_index + count}) outside catalog "
+                f"of {self.params.n_ruptures}"
+            )
+        gen = self._ensure_generator()
+        return [
+            gen.generate(
+                self.rngs.generator("rupture", start_index + i),
+                rupture_id=f"{self.geometry.name}.{start_index + i:06d}",
+            )
+            for i in range(count)
+        ]
+
+    # -- Phase B -------------------------------------------------------------
+
+    def phase_b_greens_functions(
+        self, recycled: GreensFunctionBank | None = None
+    ) -> GreensFunctionBank:
+        """Compute (or recycle) the GF bank for the station list.
+
+        The bank flavour follows ``params.gf_method`` (point source or
+        finite-fault Okada).
+        """
+        if recycled is not None:
+            self._gf_bank = recycled
+        elif self._gf_bank is None:
+            if self.params.gf_method == "okada":
+                from repro.seismo.okada import compute_okada_gf_bank
+
+                self._gf_bank = compute_okada_gf_bank(self.geometry, self.network)
+            else:
+                self._gf_bank = compute_gf_bank(self.geometry, self.network)
+        return self._gf_bank
+
+    # -- Phase C -------------------------------------------------------------
+
+    def phase_c_waveforms(
+        self, ruptures: list[Rupture], duration_s: float | None = None
+    ) -> list[WaveformSet]:
+        """Synthesize waveforms for a chunk of ruptures (one C-phase job)."""
+        bank = self.phase_b_greens_functions()
+        noise = GnssNoiseModel() if self.params.with_noise else None
+        synth = WaveformSynthesizer(
+            bank, dt_s=self.params.dt_s, duration_s=duration_s, noise=noise
+        )
+        out = []
+        for r in ruptures:
+            rng = (
+                self.rngs.generator("noise", r.rupture_id)
+                if self.params.with_noise
+                else None
+            )
+            out.append(synth.synthesize(r, rng=rng))
+        return out
+
+    # -- convenience ----------------------------------------------------------
+
+    def run_sequential(self) -> list[WaveformSet]:
+        """MudPy-native behaviour: all three phases, one after another."""
+        self.phase_a_distances()
+        ruptures = self.phase_a_ruptures()
+        self.phase_b_greens_functions()
+        return self.phase_c_waveforms(ruptures)
+
+    def catalog_magnitudes(self, ruptures: list[Rupture]) -> np.ndarray:
+        """Realized magnitudes of a catalog (for validation plots)."""
+        return np.array([r.actual_mw for r in ruptures])

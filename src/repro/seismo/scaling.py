@@ -1,0 +1,105 @@
+"""Earthquake source scaling laws.
+
+FakeQuakes draws rupture dimensions and target slip from published
+magnitude scaling relations. We implement the standard set:
+
+* moment/magnitude conversion (Hanks & Kanamori 1979),
+* subduction-interface rupture length/width scaling in the spirit of
+  Blaser et al. (2010) / Allen & Hayes (2017) — log-linear in Mw with
+  lognormal scatter,
+* mean slip from moment closure ``M0 = mu * A * D``.
+
+These are the quantities the rupture generator needs; coefficients are
+the published central values (the exact regression constants matter less
+here than their shape — see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import RuptureError
+
+__all__ = [
+    "moment_from_magnitude",
+    "magnitude_from_moment",
+    "ScalingLaw",
+    "SUBDUCTION_INTERFACE",
+]
+
+
+def moment_from_magnitude(mw: np.ndarray | float) -> np.ndarray | float:
+    """Seismic moment M0 (N m) from moment magnitude Mw."""
+    return 10.0 ** (1.5 * np.asarray(mw, dtype=float) + 9.1)
+
+
+def magnitude_from_moment(m0: np.ndarray | float) -> np.ndarray | float:
+    """Moment magnitude Mw from seismic moment M0 (N m)."""
+    m0 = np.asarray(m0, dtype=float)
+    if np.any(m0 <= 0):
+        raise RuptureError("seismic moment must be positive")
+    return (np.log10(m0) - 9.1) / 1.5
+
+
+@dataclass(frozen=True)
+class ScalingLaw:
+    """Log-linear rupture-dimension scaling with lognormal scatter.
+
+    ``log10 L = a_l + b_l * Mw`` (L in km), likewise for width W, with
+    standard deviations ``s_l`` / ``s_w`` in log10 units. Width scatter
+    is applied with the same random deviate sign as length scatter at
+    half amplitude, reflecting the observed L-W correlation.
+    """
+
+    a_length: float
+    b_length: float
+    s_length: float
+    a_width: float
+    b_width: float
+    s_width: float
+    name: str = "generic"
+
+    def median_length_km(self, mw: float) -> float:
+        """Median rupture length in km for a given Mw."""
+        return float(10.0 ** (self.a_length + self.b_length * mw))
+
+    def median_width_km(self, mw: float) -> float:
+        """Median rupture width in km for a given Mw."""
+        return float(10.0 ** (self.a_width + self.b_width * mw))
+
+    def sample_dimensions(
+        self, mw: float, rng: np.random.Generator
+    ) -> tuple[float, float]:
+        """Draw (length_km, width_km) for a target magnitude."""
+        if not (5.0 <= mw <= 9.7):
+            raise RuptureError(f"target magnitude {mw} outside supported range 5.0-9.7")
+        z = rng.normal()
+        length = 10.0 ** (self.a_length + self.b_length * mw + self.s_length * z)
+        width = 10.0 ** (self.a_width + self.b_width * mw + 0.5 * self.s_width * z)
+        return float(length), float(width)
+
+    def mean_slip_m(self, mw: float, area_km2: float, rigidity_pa: float) -> float:
+        """Mean slip (m) that closes the moment for a rupture area.
+
+        ``D = M0 / (mu * A)`` with A converted from km^2 to m^2.
+        """
+        if area_km2 <= 0:
+            raise RuptureError(f"rupture area must be positive, got {area_km2}")
+        if rigidity_pa <= 0:
+            raise RuptureError(f"rigidity must be positive, got {rigidity_pa}")
+        m0 = moment_from_magnitude(mw)
+        return float(m0 / (rigidity_pa * area_km2 * 1e6))
+
+
+#: Blaser et al. (2010)-style subduction interface coefficients.
+SUBDUCTION_INTERFACE = ScalingLaw(
+    a_length=-2.37,
+    b_length=0.57,
+    s_length=0.18,
+    a_width=-1.86,
+    b_width=0.46,
+    s_width=0.17,
+    name="subduction_interface",
+)

@@ -1,0 +1,153 @@
+"""Physical validation checks for synthesized products.
+
+Goldberg & Melgar (2020) validated FakeQuakes against the 2014 Mw 8.1
+Chilean earthquake; offline we validate against *physics invariants and
+published empirical regressions* instead:
+
+* moment closure — realized Mw equals the target,
+* PGD magnitude/distance scaling — peak ground displacement follows the
+  Melgar et al. (2015) regression shape
+  ``log10 PGD = A + B*Mw + C*Mw*log10 R`` (grows with Mw, decays with R),
+* static-field sanity — displacement ramps are monotone in the final
+  window and the final offset matches the static GF prediction.
+
+The checks return structured results so tests, examples and the VDC
+curation pipeline can all consume them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WaveformError
+from repro.seismo.geometry import FaultGeometry
+from repro.seismo.ruptures import Rupture
+from repro.seismo.stations import StationNetwork
+from repro.seismo.waveforms import WaveformSet
+
+__all__ = [
+    "moment_closure_error",
+    "pgd_regression",
+    "PgdFit",
+    "static_consistency",
+    "validate_waveform_set",
+]
+
+
+def moment_closure_error(rupture: Rupture, geometry: FaultGeometry) -> float:
+    """Absolute difference between target and realized Mw."""
+    return abs(rupture.actual_mw - rupture.target_mw)
+
+
+@dataclass(frozen=True)
+class PgdFit:
+    """Least-squares fit of the PGD scaling regression.
+
+    ``log10 PGD = a + b*Mw + c*Mw*log10 R`` with PGD in metres and R the
+    hypocentral distance in km. For physically sensible synthetics we
+    expect ``b > 0`` (larger quakes displace more) and ``c < 0``
+    (amplitude decays with distance).
+    """
+
+    a: float
+    b: float
+    c: float
+    residual_std: float
+    n_points: int
+
+
+def pgd_regression(
+    waveform_sets: list[WaveformSet],
+    ruptures: list[Rupture],
+    geometry: FaultGeometry,
+    network: StationNetwork,
+    min_pgd_m: float = 1e-6,
+) -> PgdFit:
+    """Fit the Melgar-style PGD regression over a catalog.
+
+    Parameters
+    ----------
+    waveform_sets, ruptures:
+        Parallel lists (same order, same length).
+    min_pgd_m:
+        Stations with PGD below this are dropped (numerically silent
+        far-field points would otherwise dominate the fit).
+    """
+    if len(waveform_sets) != len(ruptures):
+        raise WaveformError(
+            f"{len(waveform_sets)} waveform sets vs {len(ruptures)} ruptures"
+        )
+    if not waveform_sets:
+        raise WaveformError("need at least one waveform set to fit PGD scaling")
+
+    rows = []
+    rhs = []
+    for ws, rupture in zip(waveform_sets, ruptures):
+        pgd = ws.pgd_m()
+        # Hypocentral distance per station.
+        hypo_sub = rupture.subfault_indices[rupture.hypocenter_index]
+        hypo_lon = geometry.lon[hypo_sub]
+        hypo_lat = geometry.lat[hypo_sub]
+        hypo_depth = geometry.depth_km[hypo_sub]
+        surface = network.distances_to_km(float(hypo_lon), float(hypo_lat))
+        r = np.sqrt(surface**2 + float(hypo_depth) ** 2)
+        keep = pgd > min_pgd_m
+        mw = rupture.actual_mw
+        for dist, amp in zip(r[keep], pgd[keep]):
+            rows.append([1.0, mw, mw * np.log10(dist)])
+            rhs.append(np.log10(amp))
+    if len(rows) < 3:
+        raise WaveformError("not enough PGD observations above threshold to fit")
+    design = np.array(rows)
+    y = np.array(rhs)
+    coef, *_ = np.linalg.lstsq(design, y, rcond=None)
+    resid = y - design @ coef
+    return PgdFit(
+        a=float(coef[0]),
+        b=float(coef[1]),
+        c=float(coef[2]),
+        residual_std=float(np.std(resid)),
+        n_points=len(y),
+    )
+
+
+def static_consistency(ws: WaveformSet, tail_fraction: float = 0.1) -> float:
+    """Max drift of the record tail relative to its final offset.
+
+    After the rupture and all arrivals, displacement must be flat (the
+    static field). Returns the worst-case ratio
+    ``max |u(t) - u(end)| / max(|u(end)|, 1e-9)`` over the tail window —
+    near zero for clean synthetics.
+    """
+    if not (0.0 < tail_fraction <= 0.5):
+        raise WaveformError(f"tail_fraction must be in (0, 0.5], got {tail_fraction}")
+    nt = ws.n_samples
+    tail = max(2, int(nt * tail_fraction))
+    final = ws.data[:, :, -1][:, :, None]
+    drift = np.abs(ws.data[:, :, -tail:] - final)
+    scale = max(float(np.max(np.abs(final))), 1e-9)
+    return float(np.max(drift) / scale)
+
+
+def validate_waveform_set(
+    ws: WaveformSet,
+    rupture: Rupture,
+    geometry: FaultGeometry,
+    mw_tolerance: float = 1e-6,
+    tail_tolerance: float = 0.05,
+) -> dict[str, float | bool]:
+    """Run the per-product validation battery; returns a report dict.
+
+    Keys: ``moment_error``, ``tail_drift``, ``max_pgd_m``, ``passed``.
+    """
+    moment_err = moment_closure_error(rupture, geometry)
+    drift = static_consistency(ws)
+    report = {
+        "moment_error": moment_err,
+        "tail_drift": drift,
+        "max_pgd_m": float(np.max(ws.pgd_m())),
+        "passed": bool(moment_err <= mw_tolerance and drift <= tail_tolerance),
+    }
+    return report

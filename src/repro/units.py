@@ -1,0 +1,80 @@
+"""Time-unit helpers used throughout the workflow and pool simulators.
+
+All simulators in :mod:`repro` keep time internally in **seconds** (floats
+for the seismic kernels, integers for the per-second bursting replay).
+The paper, however, reports runtimes in hours, job durations in minutes
+and throughput in jobs/minute (JPM), so conversion helpers live here to
+keep the unit discipline in one place.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SECONDS_PER_MINUTE",
+    "SECONDS_PER_HOUR",
+    "MINUTES_PER_HOUR",
+    "seconds",
+    "minutes",
+    "hours",
+    "to_minutes",
+    "to_hours",
+    "jobs_per_minute",
+    "format_duration",
+]
+
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3600.0
+MINUTES_PER_HOUR = 60.0
+
+
+def seconds(value: float) -> float:
+    """Identity helper so call sites can spell the unit explicitly."""
+    return float(value)
+
+
+def minutes(value: float) -> float:
+    """Convert a duration expressed in minutes to seconds."""
+    return float(value) * SECONDS_PER_MINUTE
+
+
+def hours(value: float) -> float:
+    """Convert a duration expressed in hours to seconds."""
+    return float(value) * SECONDS_PER_HOUR
+
+
+def to_minutes(value_seconds: float) -> float:
+    """Convert a duration in seconds to minutes."""
+    return float(value_seconds) / SECONDS_PER_MINUTE
+
+
+def to_hours(value_seconds: float) -> float:
+    """Convert a duration in seconds to hours."""
+    return float(value_seconds) / SECONDS_PER_HOUR
+
+
+def jobs_per_minute(jobs: float, runtime_seconds: float) -> float:
+    """Throughput in jobs/minute, the paper's unit (eq. 2/4/5).
+
+    Raises
+    ------
+    ValueError
+        If ``runtime_seconds`` is not positive; a throughput over an
+        empty or negative interval is meaningless and always a caller bug.
+    """
+    if runtime_seconds <= 0:
+        raise ValueError(f"runtime must be positive, got {runtime_seconds!r}")
+    return float(jobs) / to_minutes(runtime_seconds)
+
+
+def format_duration(value_seconds: float) -> str:
+    """Render a duration as ``1h 02m 03s`` for human-readable reports."""
+    total = int(round(value_seconds))
+    sign = "-" if total < 0 else ""
+    total = abs(total)
+    h, rem = divmod(total, 3600)
+    m, s = divmod(rem, 60)
+    if h:
+        return f"{sign}{h}h {m:02d}m {s:02d}s"
+    if m:
+        return f"{sign}{m}m {s:02d}s"
+    return f"{sign}{s}s"

@@ -1,0 +1,29 @@
+"""Virtual Data Collaboratory substrate: catalog, storage, portal.
+
+The paper's Fig 7 story: FDW products flow into the VDC, which curates
+them with metadata, makes them discoverable, and serves them to EEW
+researchers — "providing equitable access to MudPy for researchers of
+all backgrounds". This subpackage implements that documented surface:
+
+* :mod:`repro.vdc.catalog` — product records, metadata tagging, search,
+* :mod:`repro.vdc.storage` — federated storage sites with replica
+  placement and cached retrieval,
+* :mod:`repro.vdc.portal` — the API facade that launches accelerated
+  FDW runs, deposits their products, and answers discovery queries.
+"""
+
+from repro.vdc.catalog import DataCatalog, ProductRecord
+from repro.vdc.portal import Portal, PortalRun
+from repro.vdc.prefetch import PrefetchService, QueryEvent
+from repro.vdc.storage import FederatedStorage, StorageSite
+
+__all__ = [
+    "DataCatalog",
+    "FederatedStorage",
+    "Portal",
+    "PortalRun",
+    "PrefetchService",
+    "ProductRecord",
+    "QueryEvent",
+    "StorageSite",
+]

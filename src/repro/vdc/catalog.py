@@ -1,0 +1,211 @@
+"""The VDC data catalog: deposition, curation, tagging, discovery.
+
+VDC "enables data deposition, curation, and tagging with metadata,
+allowing synthetic data products to be accessed more easily and timely
+for training EEW models" (paper §6). The catalog is an in-memory,
+JSON-persistable index of :class:`ProductRecord` entries with free-form
+tags and typed metadata, plus a small query language (exact match,
+ranges on numeric fields, tag subsets).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from repro.errors import CatalogError
+
+__all__ = ["ProductRecord", "DataCatalog"]
+
+_ID_RE = re.compile(r"^[A-Za-z0-9._\-]{1,128}$")
+
+
+@dataclass(frozen=True)
+class ProductRecord:
+    """One curated data product.
+
+    Attributes
+    ----------
+    product_id:
+        Unique catalog identifier (e.g. ``"chile_slab.000042.waveforms"``).
+    kind:
+        Product class: ``"waveforms"``, ``"ruptures"``, ``"gf_bank"``...
+    site:
+        Storage site holding the primary replica.
+    size_mb:
+        Payload size.
+    tags:
+        Free-form curation tags (``frozenset``).
+    metadata:
+        Typed attributes (magnitude, station count, region...).
+    provenance:
+        Where the product came from (workflow name, run id).
+    """
+
+    product_id: str
+    kind: str
+    site: str
+    size_mb: float
+    tags: frozenset[str] = frozenset()
+    metadata: dict = field(default_factory=dict)
+    provenance: str = ""
+
+    def __post_init__(self) -> None:
+        if not _ID_RE.match(self.product_id):
+            raise CatalogError(f"invalid product id {self.product_id!r}")
+        if not self.kind:
+            raise CatalogError(f"{self.product_id}: kind must be non-empty")
+        if self.size_mb < 0:
+            raise CatalogError(f"{self.product_id}: negative size")
+
+
+class DataCatalog:
+    """In-memory catalog with persistence and queries."""
+
+    def __init__(self) -> None:
+        self._records: dict[str, ProductRecord] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, product_id: object) -> bool:
+        return product_id in self._records
+
+    # -- deposition / curation ----------------------------------------------
+
+    def deposit(self, record: ProductRecord) -> None:
+        """Add a new product; duplicate ids are an error."""
+        if record.product_id in self._records:
+            raise CatalogError(f"duplicate product id {record.product_id!r}")
+        self._records[record.product_id] = record
+
+    def get(self, product_id: str) -> ProductRecord:
+        """Fetch a record by id."""
+        try:
+            return self._records[product_id]
+        except KeyError:
+            raise CatalogError(f"no product {product_id!r}") from None
+
+    def tag(self, product_id: str, *tags: str) -> ProductRecord:
+        """Curation: add tags to an existing product."""
+        record = self.get(product_id)
+        updated = replace(record, tags=record.tags | set(tags))
+        self._records[product_id] = updated
+        return updated
+
+    def annotate(self, product_id: str, **metadata: object) -> ProductRecord:
+        """Curation: merge metadata keys into an existing product."""
+        record = self.get(product_id)
+        merged = dict(record.metadata)
+        merged.update(metadata)
+        updated = replace(record, metadata=merged)
+        self._records[product_id] = updated
+        return updated
+
+    def withdraw(self, product_id: str) -> None:
+        """Remove a product from the catalog."""
+        if product_id not in self._records:
+            raise CatalogError(f"no product {product_id!r}")
+        del self._records[product_id]
+
+    # -- discovery -------------------------------------------------------------
+
+    def search(
+        self,
+        kind: str | None = None,
+        tags: set[str] | None = None,
+        ranges: dict[str, tuple[float, float]] | None = None,
+        **exact: object,
+    ) -> list[ProductRecord]:
+        """Query the catalog.
+
+        Parameters
+        ----------
+        kind:
+            Restrict to a product class.
+        tags:
+            Require all of these tags.
+        ranges:
+            ``{"mw": (8.0, 9.0)}`` — inclusive numeric metadata ranges.
+        exact:
+            Exact-match metadata constraints.
+
+        Results are sorted by product id for determinism.
+        """
+        out = []
+        for record in self._records.values():
+            if kind is not None and record.kind != kind:
+                continue
+            if tags is not None and not tags <= record.tags:
+                continue
+            if ranges:
+                ok = True
+                for key, (lo, hi) in ranges.items():
+                    value = record.metadata.get(key)
+                    if not isinstance(value, (int, float)) or not (lo <= value <= hi):
+                        ok = False
+                        break
+                if not ok:
+                    continue
+            if any(record.metadata.get(k) != v for k, v in exact.items()):
+                continue
+            out.append(record)
+        return sorted(out, key=lambda r: r.product_id)
+
+    def kinds(self) -> dict[str, int]:
+        """Product counts by kind."""
+        counts: dict[str, int] = {}
+        for record in self._records.values():
+            counts[record.kind] = counts.get(record.kind, 0) + 1
+        return counts
+
+    # -- persistence --------------------------------------------------------------
+
+    def save(self, path: str | Path) -> Path:
+        """Persist the catalog as JSON."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = [
+            {
+                "product_id": r.product_id,
+                "kind": r.kind,
+                "site": r.site,
+                "size_mb": r.size_mb,
+                "tags": sorted(r.tags),
+                "metadata": r.metadata,
+                "provenance": r.provenance,
+            }
+            for r in sorted(self._records.values(), key=lambda r: r.product_id)
+        ]
+        path.write_text(json.dumps(payload, indent=2))
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "DataCatalog":
+        """Load a catalog saved by :meth:`save`."""
+        path = Path(path)
+        if not path.exists():
+            raise CatalogError(f"catalog file not found: {path}")
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise CatalogError(f"{path}: invalid JSON: {exc}") from exc
+        catalog = cls()
+        for item in payload:
+            try:
+                catalog.deposit(
+                    ProductRecord(
+                        product_id=item["product_id"],
+                        kind=item["kind"],
+                        site=item["site"],
+                        size_mb=float(item["size_mb"]),
+                        tags=frozenset(item.get("tags", [])),
+                        metadata=item.get("metadata", {}),
+                        provenance=item.get("provenance", ""),
+                    )
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise CatalogError(f"{path}: malformed record: {exc}") from exc
+        return catalog

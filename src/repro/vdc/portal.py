@@ -1,0 +1,201 @@
+"""The VDC portal: launch accelerated FDW runs and serve their products.
+
+"If needed, our workflow tool could be launched via the VDC portal's
+graphical user interface" (paper §3); "The VDC serves to enhance MudPy
+by providing a GUI-based platform for executing accelerated simulations
+and monitoring their progress" (paper §6). :class:`Portal` is that
+surface as an API: users submit an FDW configuration, the portal runs it
+on the (simulated) OSG, monitors it, deposits the resulting products
+into the catalog/storage, and answers discovery + retrieval requests —
+the complete Fig 7 data flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PortalError
+from repro.core.config import FdwConfig
+from repro.core.monitor import DagmanStats
+from repro.core.phases import gf_archive_mb, plan_phases
+from repro.core.submit_osg import FdwBatchResult, run_fdw_batch
+from repro.osg.capacity import CapacityProcess
+from repro.osg.pool import OSPoolConfig
+from repro.vdc.catalog import DataCatalog, ProductRecord
+from repro.vdc.prefetch import PrefetchService, QueryEvent
+from repro.vdc.storage import FederatedStorage, StorageSite
+
+__all__ = ["Portal", "PortalRun"]
+
+
+@dataclass
+class PortalRun:
+    """One portal-launched workflow execution."""
+
+    run_id: str
+    config: FdwConfig
+    result: FdwBatchResult
+    stats: DagmanStats
+    n_planned_jobs: int = 0
+    product_ids: list[str] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        """Every planned DAG node completed (failed attempts may have
+        been retried; each retry is a distinct cluster in the log)."""
+        return self.stats.n_completed == self.n_planned_jobs
+
+
+class Portal:
+    """The VDC-facing API for running FDW and accessing its products.
+
+    Parameters
+    ----------
+    catalog, storage:
+        Shared VDC services; defaults build a fresh catalog and a
+        three-site federation.
+    pool_config, capacity:
+        OSG model overrides forwarded to the pool simulator.
+    """
+
+    def __init__(
+        self,
+        catalog: DataCatalog | None = None,
+        storage: FederatedStorage | None = None,
+        pool_config: OSPoolConfig | None = None,
+        capacity: CapacityProcess | None = None,
+    ) -> None:
+        self.catalog = catalog or DataCatalog()
+        self.storage = storage or FederatedStorage(
+            [
+                StorageSite("vdc-rutgers"),
+                StorageSite("vdc-psu"),
+                StorageSite("vdc-utah"),
+            ]
+        )
+        self.pool_config = pool_config
+        self.capacity = capacity
+        self.prefetcher = PrefetchService(self.catalog, self.storage)
+        self._runs: dict[str, PortalRun] = {}
+
+    # -- execution -----------------------------------------------------------
+
+    def launch(
+        self,
+        config: FdwConfig,
+        user: str = "anonymous",
+        deposit_site: str | None = None,
+        seed: int = 0,
+    ) -> PortalRun:
+        """Run an FDW configuration and deposit its products.
+
+        The portal models product deposition at workflow granularity:
+        one waveform-catalog product, one rupture-catalog product and
+        one GF-bank product per run, tagged and annotated for
+        discovery. (Per-rupture granularity lives in
+        :class:`~repro.seismo.mudpy_io.ProductArchive`.)
+        """
+        run_id = f"run-{len(self._runs):04d}-{config.name}"
+        if run_id in self._runs:
+            raise PortalError(f"duplicate run id {run_id!r}")
+        site = deposit_site or next(iter(self.storage.sites))
+        self.storage.site(site)  # validate early
+
+        result = run_fdw_batch(
+            config,
+            pool_config=self.pool_config,
+            capacity=self.capacity,
+            seed=seed,
+        )
+        log_text = result.user_logs[config.name]
+        stats = DagmanStats.from_log_text(log_text, source=run_id)
+
+        run = PortalRun(
+            run_id=run_id,
+            config=config,
+            result=result,
+            stats=stats,
+            n_planned_jobs=plan_phases(config).n_jobs,
+        )
+        base_tags = {"fdw", "chile", f"user:{user}"}
+        waveform_mb = 0.25 * config.n_waveforms  # compressed per-set payloads
+        products = [
+            ("waveforms", waveform_mb, {"n_waveforms": config.n_waveforms}),
+            ("ruptures", 0.02 * config.n_waveforms, {"n_ruptures": config.n_waveforms}),
+            ("gf_bank", gf_archive_mb(config), {"n_stations": config.n_stations}),
+        ]
+        for kind, size_mb, meta in products:
+            product_id = f"{run_id}.{kind}"
+            self.storage.store(product_id, size_mb, site)
+            self.catalog.deposit(
+                ProductRecord(
+                    product_id=product_id,
+                    kind=kind,
+                    site=site,
+                    size_mb=size_mb,
+                    tags=frozenset(base_tags),
+                    metadata={
+                        "mw_min": config.mw_range[0],
+                        "mw_max": config.mw_range[1],
+                        "n_stations": config.n_stations,
+                        **meta,
+                    },
+                    provenance=run_id,
+                )
+            )
+            run.product_ids.append(product_id)
+        self._runs[run_id] = run
+        return run
+
+    # -- monitoring ----------------------------------------------------------
+
+    def status(self, run_id: str) -> str:
+        """Monitoring report of a run (the portal's progress view)."""
+        run = self._get_run(run_id)
+        return run.stats.report(name=run_id)
+
+    def runs(self) -> list[str]:
+        """All run ids, oldest first."""
+        return list(self._runs)
+
+    def _get_run(self, run_id: str) -> PortalRun:
+        try:
+            return self._runs[run_id]
+        except KeyError:
+            raise PortalError(f"unknown run {run_id!r}") from None
+
+    # -- discovery / retrieval -------------------------------------------------
+
+    def discover(
+        self, home_site: str | None = None, **query: object
+    ) -> list[ProductRecord]:
+        """Search the catalog (thin facade over
+        :meth:`~repro.vdc.catalog.DataCatalog.search`).
+
+        With ``home_site`` given, the query is recorded in that site's
+        trace so the intelligent-delivery service can prefetch likely
+        next retrievals (paper §6).
+        """
+        if home_site is not None:
+            self.prefetcher.record_query(
+                QueryEvent(
+                    home_site=home_site,
+                    kind=query.get("kind"),  # type: ignore[arg-type]
+                    tags=frozenset(query.get("tags") or ()),  # type: ignore[arg-type]
+                    metadata={
+                        k: v
+                        for k, v in query.items()
+                        if k not in ("kind", "tags", "ranges")
+                    },
+                )
+            )
+        return self.catalog.search(**query)  # type: ignore[arg-type]
+
+    def retrieve(self, product_id: str, home_site: str) -> float:
+        """Deliver a product to a user's home site; returns seconds.
+
+        Retrieval leaves a cached replica at the home site, so repeated
+        community access gets faster — the democratization mechanic.
+        """
+        self.catalog.get(product_id)  # existence check with a clear error
+        return self.storage.retrieval_time_s(product_id, home_site)

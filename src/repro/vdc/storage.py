@@ -1,0 +1,144 @@
+"""Federated storage: sites, replicas, and cached retrieval times.
+
+VDC federates storage across member institutions and "large datasets
+will be able to be efficiently distributed via optimized caching systems
+and even prefetched for users" (paper §6). The model: named sites with
+capacities and bandwidths; products are placed on a primary site and may
+be replicated; a retrieval from a user's *home site* is fast when a
+replica (or prefetched copy) is local, else pays the inter-site
+transfer and leaves a cached replica behind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+
+__all__ = ["StorageSite", "FederatedStorage"]
+
+
+@dataclass(frozen=True)
+class StorageSite:
+    """One federated storage member.
+
+    Attributes
+    ----------
+    name:
+        Unique site name.
+    capacity_mb:
+        Total capacity.
+    local_mb_per_s:
+        Bandwidth for site-local reads.
+    wan_mb_per_s:
+        Bandwidth for inter-site transfers.
+    """
+
+    name: str
+    capacity_mb: float = 1e6
+    local_mb_per_s: float = 500.0
+    wan_mb_per_s: float = 40.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise StorageError("site name must be non-empty")
+        if self.capacity_mb <= 0:
+            raise StorageError(f"{self.name}: capacity must be positive")
+        if self.local_mb_per_s <= 0 or self.wan_mb_per_s <= 0:
+            raise StorageError(f"{self.name}: bandwidths must be positive")
+
+
+class FederatedStorage:
+    """Replica placement and retrieval across sites."""
+
+    def __init__(self, sites: list[StorageSite]) -> None:
+        if not sites:
+            raise StorageError("need at least one storage site")
+        names = [s.name for s in sites]
+        if len(set(names)) != len(names):
+            raise StorageError(f"duplicate site names: {names}")
+        self.sites = {s.name: s for s in sites}
+        self._replicas: dict[str, set[str]] = {}  # product_id -> site names
+        self._usage_mb: dict[str, float] = {name: 0.0 for name in self.sites}
+        self._sizes: dict[str, float] = {}
+
+    def site(self, name: str) -> StorageSite:
+        """Site by name."""
+        try:
+            return self.sites[name]
+        except KeyError:
+            raise StorageError(f"unknown site {name!r}") from None
+
+    # -- placement ----------------------------------------------------------
+
+    def store(self, product_id: str, size_mb: float, site: str) -> None:
+        """Place the primary replica of a product."""
+        s = self.site(site)
+        if size_mb < 0:
+            raise StorageError(f"{product_id}: negative size")
+        if product_id in self._replicas:
+            raise StorageError(f"product {product_id!r} already stored")
+        if self._usage_mb[site] + size_mb > s.capacity_mb:
+            raise StorageError(f"site {site!r} over capacity storing {product_id!r}")
+        self._replicas[product_id] = {site}
+        self._sizes[product_id] = float(size_mb)
+        self._usage_mb[site] += size_mb
+
+    def replicate(self, product_id: str, site: str) -> None:
+        """Add a replica (idempotent) — also used for prefetching."""
+        self.site(site)
+        if product_id not in self._replicas:
+            raise StorageError(f"unknown product {product_id!r}")
+        if site in self._replicas[product_id]:
+            return
+        size = self._sizes[product_id]
+        if self._usage_mb[site] + size > self.sites[site].capacity_mb:
+            raise StorageError(f"site {site!r} over capacity replicating {product_id!r}")
+        self._replicas[product_id].add(site)
+        self._usage_mb[site] += size
+
+    def drop_replica(self, product_id: str, site: str) -> None:
+        """Remove one replica; the last replica cannot be dropped."""
+        if product_id not in self._replicas:
+            raise StorageError(f"unknown product {product_id!r}")
+        replicas = self._replicas[product_id]
+        if site not in replicas:
+            raise StorageError(f"no replica of {product_id!r} at {site!r}")
+        if len(replicas) == 1:
+            raise StorageError(f"cannot drop the last replica of {product_id!r}")
+        replicas.remove(site)
+        self._usage_mb[site] -= self._sizes[product_id]
+
+    # -- retrieval ------------------------------------------------------------
+
+    def replicas(self, product_id: str) -> set[str]:
+        """Sites holding the product."""
+        if product_id not in self._replicas:
+            raise StorageError(f"unknown product {product_id!r}")
+        return set(self._replicas[product_id])
+
+    def retrieval_time_s(
+        self, product_id: str, home_site: str, cache: bool = True
+    ) -> float:
+        """Seconds to deliver a product to a user at ``home_site``.
+
+        A local replica reads at local bandwidth; otherwise the product
+        crosses the WAN from a holding site and (with ``cache=True``)
+        leaves a replica behind — the "optimized caching" behaviour.
+        """
+        home = self.site(home_site)
+        size = self._sizes.get(product_id)
+        if size is None:
+            raise StorageError(f"unknown product {product_id!r}")
+        if home_site in self._replicas[product_id]:
+            return size / home.local_mb_per_s
+        elapsed = size / home.wan_mb_per_s
+        if cache and self._usage_mb[home_site] + size <= home.capacity_mb:
+            self._replicas[product_id].add(home_site)
+            self._usage_mb[home_site] += size
+        return elapsed
+
+    def usage_mb(self, site: str) -> float:
+        """Bytes (MB) currently placed at a site."""
+        self.site(site)
+        return self._usage_mb[site]

@@ -1,0 +1,58 @@
+"""Tests for repro.bursting.cloud."""
+
+import pytest
+
+from repro.bursting.cloud import (
+    RUPTURE_CLOUD_SECONDS,
+    WAVEFORM_CLOUD_SECONDS,
+    CloudJobModel,
+)
+from repro.errors import PolicyError
+
+
+def test_paper_constants():
+    # Paper section 3.1.1: 287 s and 144 s, kept verbatim.
+    assert RUPTURE_CLOUD_SECONDS == 287.0
+    assert WAVEFORM_CLOUD_SECONDS == 144.0
+
+
+def test_durations_by_phase():
+    model = CloudJobModel()
+    assert model.duration_s("A") == 287.0
+    assert model.duration_s("C") == 144.0
+
+
+def test_non_burstable_phase_rejected():
+    model = CloudJobModel()
+    with pytest.raises(PolicyError):
+        model.duration_s("B")
+    with pytest.raises(PolicyError):
+        model.duration_s("dist")
+
+
+def test_is_burstable():
+    model = CloudJobModel()
+    assert model.is_burstable("A")
+    assert model.is_burstable("C")
+    assert not model.is_burstable("B")
+    assert not model.is_burstable("dist")
+
+
+def test_cost_uses_paper_price():
+    model = CloudJobModel()
+    # 1000 minutes at $0.0017/min.
+    assert model.cost_usd(60000.0) == pytest.approx(1.7)
+
+
+def test_custom_price():
+    model = CloudJobModel(usd_per_minute=0.01)
+    assert model.cost_usd(600.0) == pytest.approx(0.1)
+
+
+def test_validation():
+    with pytest.raises(PolicyError):
+        CloudJobModel(rupture_seconds=0.0)
+    with pytest.raises(PolicyError):
+        CloudJobModel(usd_per_minute=-1.0)
+    with pytest.raises(PolicyError):
+        CloudJobModel(burstable_phases=())

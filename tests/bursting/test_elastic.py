@@ -1,0 +1,95 @@
+"""Tests for the elastic bursting policy (paper §6 outlook)."""
+
+import pytest
+
+from repro.bursting.policies import ElasticPolicy
+from repro.bursting.simulator import BurstingSimulator
+from repro.errors import PolicyError
+from tests.bursting.test_policies import FakeView
+from tests.bursting.test_simulator import synthetic_trace
+
+
+def armed_policy(**kwargs):
+    policy = ElasticPolicy(**kwargs)
+    policy._armed = True
+    policy._ewma = policy.target_jpm
+    return policy
+
+
+def test_disarmed_until_target_reached():
+    policy = ElasticPolicy(target_jpm=10.0, smoothing=1.0)
+    assert policy.evaluate(FakeView(now_s=1.0, instant_throughput_jpm=2.0)) is None
+    # Reaching the target arms without bursting.
+    assert policy.evaluate(FakeView(now_s=2.0, instant_throughput_jpm=12.0)) is None
+    # A subsequent dip bursts.
+    req = policy.evaluate(FakeView(now_s=400.0, instant_throughput_jpm=1.0))
+    assert req is not None and req.kind == "tail" and req.policy == "elastic"
+
+
+def test_no_burst_on_target():
+    policy = armed_policy(target_jpm=10.0, smoothing=1.0)
+    assert policy.evaluate(FakeView(now_s=5.0, instant_throughput_jpm=10.0)) is None
+
+
+def test_rate_adapts_to_deficit():
+    """A deep deficit bursts at ~min_interval; a shallow one far slower."""
+
+    def bursts_in(window_s: float, omega: float) -> int:
+        policy = armed_policy(
+            target_jpm=10.0, smoothing=1.0, min_interval_s=5.0, max_interval_s=100.0
+        )
+        count = 0
+        for t in range(1, int(window_s) + 1):
+            if policy.evaluate(FakeView(now_s=float(t), instant_throughput_jpm=omega)):
+                count += 1
+        return count
+
+    deep = bursts_in(400.0, omega=0.5)  # ~95% deficit
+    shallow = bursts_in(400.0, omega=9.0)  # 10% deficit
+    assert deep > 3 * shallow
+    assert shallow >= 1
+
+
+def test_no_candidates_no_burst():
+    policy = armed_policy(target_jpm=10.0, smoothing=1.0)
+    view = FakeView(
+        now_s=5.0, instant_throughput_jpm=1.0, has_unsubmitted_burstable=False
+    )
+    assert policy.evaluate(view) is None
+
+
+def test_validation():
+    with pytest.raises(PolicyError):
+        ElasticPolicy(target_jpm=0.0)
+    with pytest.raises(PolicyError):
+        ElasticPolicy(smoothing=0.0)
+    with pytest.raises(PolicyError):
+        ElasticPolicy(min_interval_s=10.0, max_interval_s=5.0)
+
+
+def test_elastic_in_replay_improves_runtime():
+    trace = synthetic_trace(n_jobs=60, stagger_s=60.0, exec_s=400.0)
+    control = BurstingSimulator(trace, policies=[]).run()
+    elastic = BurstingSimulator(
+        trace,
+        policies=[ElasticPolicy(target_jpm=0.8, smoothing=0.5, min_interval_s=2.0)],
+    ).run()
+    assert elastic.n_bursted > 0
+    assert elastic.runtime_s < control.runtime_s
+    assert elastic.bursts_by_policy == {"elastic": elastic.n_bursted}
+
+
+def test_elastic_bursts_less_than_fixed_fast_probe_when_healthy():
+    """On a healthy batch the elastic policy stands down; a 1 s fixed
+    probe with the same threshold keeps bursting on every dip."""
+    from repro.bursting.policies import LowThroughputPolicy
+
+    trace = synthetic_trace(n_jobs=60, stagger_s=60.0, exec_s=400.0)
+    target = 0.8
+    elastic = BurstingSimulator(
+        trace, policies=[ElasticPolicy(target_jpm=target, smoothing=0.2)]
+    ).run()
+    fixed = BurstingSimulator(
+        trace, policies=[LowThroughputPolicy(probe_s=1.0, threshold_jpm=target)]
+    ).run()
+    assert elastic.n_bursted <= fixed.n_bursted

@@ -1,0 +1,112 @@
+"""Tests for repro.bursting.policies."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.bursting.policies import (
+    LowThroughputPolicy,
+    QueueTimePolicy,
+    SubmissionGapPolicy,
+)
+from repro.errors import PolicyError
+
+
+@dataclass
+class FakeView:
+    now_s: float = 0.0
+    instant_throughput_jpm: float = 0.0
+    oldest_queued_wait_s: float | None = None
+    last_submission_age_s: float | None = None
+    has_unsubmitted_burstable: bool = True
+
+
+class TestPolicy1:
+    def test_disarmed_until_threshold_reached(self):
+        policy = LowThroughputPolicy(probe_s=10.0, threshold_jpm=34.0)
+        # Low throughput during ramp-up: no bursting yet.
+        assert policy.evaluate(FakeView(now_s=10.0, instant_throughput_jpm=1.0)) is None
+        assert policy.evaluate(FakeView(now_s=20.0, instant_throughput_jpm=5.0)) is None
+        # Threshold reached: arms but does not burst.
+        assert policy.evaluate(FakeView(now_s=30.0, instant_throughput_jpm=40.0)) is None
+        # Now a dip triggers a burst.
+        req = policy.evaluate(FakeView(now_s=40.0, instant_throughput_jpm=20.0))
+        assert req is not None and req.kind == "tail" and req.policy == "policy1"
+
+    def test_probe_interval_respected(self):
+        policy = LowThroughputPolicy(probe_s=30.0, threshold_jpm=10.0)
+        policy._armed = True
+        assert policy.evaluate(FakeView(now_s=30.0, instant_throughput_jpm=1.0)) is not None
+        # Next probe only at t >= 60.
+        assert policy.evaluate(FakeView(now_s=45.0, instant_throughput_jpm=1.0)) is None
+        assert policy.evaluate(FakeView(now_s=60.0, instant_throughput_jpm=1.0)) is not None
+
+    def test_no_burst_without_candidates(self):
+        policy = LowThroughputPolicy(probe_s=1.0, threshold_jpm=10.0)
+        policy._armed = True
+        view = FakeView(now_s=5.0, instant_throughput_jpm=1.0, has_unsubmitted_burstable=False)
+        assert policy.evaluate(view) is None
+
+    def test_no_burst_above_threshold(self):
+        policy = LowThroughputPolicy(probe_s=1.0, threshold_jpm=10.0)
+        policy._armed = True
+        assert policy.evaluate(FakeView(now_s=5.0, instant_throughput_jpm=50.0)) is None
+
+    def test_validation(self):
+        with pytest.raises(PolicyError):
+            LowThroughputPolicy(probe_s=0.5)
+        with pytest.raises(PolicyError):
+            LowThroughputPolicy(threshold_jpm=0.0)
+
+
+class TestPolicy2:
+    def test_bursts_long_waiting_job(self):
+        policy = QueueTimePolicy(max_queue_s=5400.0)
+        req = policy.evaluate(FakeView(oldest_queued_wait_s=6000.0))
+        assert req is not None and req.kind == "queued" and req.policy == "policy2"
+
+    def test_tolerates_short_waits(self):
+        policy = QueueTimePolicy(max_queue_s=5400.0)
+        assert policy.evaluate(FakeView(oldest_queued_wait_s=5000.0)) is None
+
+    def test_empty_queue(self):
+        policy = QueueTimePolicy()
+        assert policy.evaluate(FakeView(oldest_queued_wait_s=None)) is None
+
+    def test_validation(self):
+        with pytest.raises(PolicyError):
+            QueueTimePolicy(max_queue_s=0.0)
+
+
+class TestPolicy3:
+    def test_bursts_on_submission_gap(self):
+        policy = SubmissionGapPolicy(max_gap_s=600.0, probe_s=30.0)
+        req = policy.evaluate(FakeView(now_s=1000.0, last_submission_age_s=700.0))
+        assert req is not None and req.kind == "tail" and req.policy == "policy3"
+
+    def test_periodic_not_every_second(self):
+        policy = SubmissionGapPolicy(max_gap_s=600.0, probe_s=30.0)
+        assert policy.evaluate(FakeView(now_s=1000.0, last_submission_age_s=700.0)) is not None
+        assert policy.evaluate(FakeView(now_s=1010.0, last_submission_age_s=710.0)) is None
+        assert policy.evaluate(FakeView(now_s=1030.0, last_submission_age_s=730.0)) is not None
+
+    def test_no_gap_no_burst(self):
+        policy = SubmissionGapPolicy(max_gap_s=600.0)
+        assert policy.evaluate(FakeView(now_s=100.0, last_submission_age_s=30.0)) is None
+
+    def test_no_submissions_yet(self):
+        policy = SubmissionGapPolicy()
+        assert policy.evaluate(FakeView(now_s=100.0, last_submission_age_s=None)) is None
+
+    def test_no_candidates(self):
+        policy = SubmissionGapPolicy(max_gap_s=10.0)
+        view = FakeView(
+            now_s=100.0, last_submission_age_s=50.0, has_unsubmitted_burstable=False
+        )
+        assert policy.evaluate(view) is None
+
+    def test_validation(self):
+        with pytest.raises(PolicyError):
+            SubmissionGapPolicy(max_gap_s=0.0)
+        with pytest.raises(PolicyError):
+            SubmissionGapPolicy(probe_s=0.0)

@@ -1,0 +1,116 @@
+"""Property-based tests for the bursting replay invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bursting.cloud import CloudJobModel
+from repro.bursting.policies import (
+    LowThroughputPolicy,
+    QueueTimePolicy,
+    SubmissionGapPolicy,
+)
+from repro.bursting.simulator import BurstingSimulator
+from repro.core.traces import BatchTrace, JobTrace
+
+
+@st.composite
+def traces(draw):
+    """Random but valid batch traces (monotone per-job times)."""
+    n_jobs = draw(st.integers(min_value=2, max_value=25))
+    jobs = []
+    for i in range(n_jobs):
+        submit = draw(st.floats(min_value=0.0, max_value=2000.0))
+        wait = draw(st.floats(min_value=1.0, max_value=1500.0))
+        exec_s = draw(st.floats(min_value=5.0, max_value=1500.0))
+        phase = draw(st.sampled_from(["A", "C", "B"]))
+        start = submit + wait
+        jobs.append(
+            JobTrace(
+                node=f"j{i:03d}",
+                phase=phase,
+                submit_s=submit,
+                start_s=start,
+                end_s=start + exec_s,
+            )
+        )
+    jobs.sort(key=lambda j: j.submit_s)
+    first_exec = min(j.start_s for j in jobs)
+    end = max(j.end_s for j in jobs)
+    return BatchTrace(
+        dagman="h", submit_s=0.0, first_execute_s=first_exec, end_s=end, jobs=tuple(jobs)
+    )
+
+
+def policy_set(seedling: int):
+    """A deterministic mix of the three policies."""
+    return [
+        LowThroughputPolicy(probe_s=1.0 + (seedling % 5), threshold_jpm=0.5 + seedling % 3),
+        QueueTimePolicy(max_queue_s=60.0 * (1 + seedling % 20)),
+        SubmissionGapPolicy(max_gap_s=30.0 * (1 + seedling % 10)),
+    ]
+
+
+@given(traces())
+@settings(max_examples=30, deadline=None)
+def test_control_replay_reproduces_original(trace):
+    control = BurstingSimulator(trace, policies=[]).run()
+    assert control.n_bursted == 0
+    assert control.cost_usd == 0.0
+    assert control.runtime_s == pytest.approx(trace.runtime_s, abs=1.5)
+    # Instant-throughput series: one sample per second, final value is
+    # eq. (5) at completion.
+    assert len(control.throughput_series_jpm) == int(control.runtime_s)
+    final = control.throughput_series_jpm[-1]
+    assert final == pytest.approx(trace.n_jobs / (control.runtime_s / 60.0), rel=1e-6)
+
+
+@given(traces(), st.integers(min_value=0, max_value=1000))
+@settings(max_examples=30, deadline=None)
+def test_bursting_never_regresses_and_conserves_jobs(trace, seedling):
+    control = BurstingSimulator(trace, policies=[]).run()
+    bursty = BurstingSimulator(trace, policies=policy_set(seedling)).run()
+    # Makespan regression is bounded: a bursted job is taken while idle
+    # or unsubmitted (before its traced start), so it completes no later
+    # than its traced end plus one cloud duration. (Bursting CAN slow a
+    # batch when it steals a job that OSG would have finished quickly —
+    # the reason the paper gates Policy 1 behind a throughput threshold.)
+    cloud = CloudJobModel()
+    bound = control.runtime_s + max(cloud.rupture_seconds, cloud.waveform_seconds)
+    assert bursty.runtime_s <= bound + 1.0
+    # Job conservation: everything completes exactly once.
+    assert bursty.n_jobs == trace.n_jobs
+    assert bursty.n_bursted == sum(bursty.bursts_by_policy.values())
+    assert bursty.n_bursted <= trace.n_jobs
+    # Only burstable phases ever burst, so cloud seconds decompose into
+    # the two constants.
+    cloud = CloudJobModel()
+    max_cloud = bursty.n_bursted * max(cloud.rupture_seconds, cloud.waveform_seconds)
+    min_cloud = bursty.n_bursted * min(cloud.rupture_seconds, cloud.waveform_seconds)
+    assert min_cloud - 1e-6 <= bursty.cloud_seconds <= max_cloud + 1e-6
+
+
+@given(traces(), st.floats(min_value=0.05, max_value=0.9))
+@settings(max_examples=30, deadline=None)
+def test_burst_cap_always_respected(trace, cap):
+    sim = BurstingSimulator(
+        trace,
+        policies=[QueueTimePolicy(max_queue_s=1.0)],  # burst aggressively
+        max_burst_fraction=cap,
+    )
+    result = sim.run()
+    assert result.n_bursted <= int(np.floor(cap * trace.n_jobs))
+
+
+@given(traces())
+@settings(max_examples=20, deadline=None)
+def test_throughput_series_scaled_by_completions(trace):
+    result = BurstingSimulator(trace, policies=policy_set(7)).run()
+    series = result.throughput_series_jpm
+    # omega[t] * minutes(t) is the cumulative completion count: integer,
+    # non-decreasing, ending at n_jobs.
+    minutes = (np.arange(1, series.size + 1)) / 60.0
+    completions = series * minutes
+    assert np.all(np.diff(np.round(completions, 6)) >= -1e-6)
+    assert completions[-1] == pytest.approx(trace.n_jobs, abs=1e-6)

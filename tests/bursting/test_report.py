@@ -1,0 +1,84 @@
+"""Tests for repro.bursting.report."""
+
+import numpy as np
+import pytest
+
+from repro.bursting.report import (
+    read_throughput_csv,
+    render_report,
+    write_throughput_csv,
+)
+from repro.bursting.simulator import BurstingResult
+from repro.errors import TraceError
+
+
+@pytest.fixture()
+def result():
+    return BurstingResult(
+        batch="b1",
+        runtime_s=1800.0,
+        original_runtime_s=3600.0,
+        n_jobs=100,
+        n_bursted=25,
+        bursts_by_policy={"policy1": 20, "policy2": 5},
+        cloud_seconds=25 * 144.0,
+        cost_usd=25 * 144.0 / 60.0 * 0.0017,
+        throughput_series_jpm=np.linspace(0.0, 30.0, 1800),
+    )
+
+
+def test_derived_metrics(result):
+    assert result.vdc_usage_percent == pytest.approx(25.0)
+    assert result.runtime_reduction_percent == pytest.approx(50.0)
+    assert result.average_instant_throughput_jpm == pytest.approx(15.0, rel=1e-3)
+
+
+def test_render_report_contents(result):
+    text = render_report(result)
+    assert "b1" in text
+    assert "25 bursted" in text
+    assert "policy1=20" in text
+    assert "policy2=5" in text
+    assert "-50" not in text.split("reduction")[0]  # reduction is positive
+    assert "+50.0% reduction" in text
+    assert "$" in text
+
+
+def test_render_control_report():
+    control = BurstingResult(
+        batch="c",
+        runtime_s=100.0,
+        original_runtime_s=100.0,
+        n_jobs=10,
+        n_bursted=0,
+        bursts_by_policy={},
+        cloud_seconds=0.0,
+        cost_usd=0.0,
+        throughput_series_jpm=np.ones(100),
+    )
+    assert "none (control)" in render_report(control)
+
+
+def test_csv_roundtrip(tmp_path, result):
+    path = write_throughput_csv(result, tmp_path / "omega.csv")
+    series = read_throughput_csv(path)
+    np.testing.assert_allclose(series, result.throughput_series_jpm, atol=1e-6)
+
+
+def test_read_missing_csv(tmp_path):
+    with pytest.raises(TraceError):
+        read_throughput_csv(tmp_path / "nope.csv")
+
+
+def test_read_bad_header(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("wrong,cols\n1,2\n")
+    with pytest.raises(TraceError):
+        read_throughput_csv(path)
+
+
+def test_read_empty_csv(tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("second,instant_throughput_jpm\n")
+    with pytest.raises(TraceError):
+        read_throughput_csv(path)

@@ -1,0 +1,86 @@
+"""Tests for repro.condor.classads."""
+
+import pytest
+
+from repro.condor.classads import ClassAd, evaluate_expression
+from repro.errors import SubmitError
+
+
+def test_simple_comparison():
+    assert evaluate_expression("Cpus >= 4", {"Cpus": 8}) is True
+    assert evaluate_expression("Cpus >= 4", {"Cpus": 2}) is False
+
+
+def test_case_insensitive_attributes():
+    assert evaluate_expression("cpus == 4", {"CPUS": 4}) is True
+
+
+def test_and_or_connectives():
+    ad = {"Cpus": 4, "Memory": 8192}
+    assert evaluate_expression("Cpus >= 4 && Memory >= 4096", ad) is True
+    assert evaluate_expression("Cpus >= 8 || Memory >= 4096", ad) is True
+    assert evaluate_expression("Cpus >= 8 && Memory >= 4096", ad) is False
+
+
+def test_negation():
+    assert evaluate_expression("!(Cpus > 4)", {"Cpus": 4}) is True
+
+
+def test_not_equal_survives_translation():
+    assert evaluate_expression("Cpus != 4", {"Cpus": 8}) is True
+    assert evaluate_expression("Cpus != 4", {"Cpus": 4}) is False
+
+
+def test_meta_equals_operators():
+    assert evaluate_expression('Arch =?= "X86_64"', {"Arch": "X86_64"}) is True
+    assert evaluate_expression('Arch =!= "ARM"', {"Arch": "X86_64"}) is True
+
+
+def test_arithmetic():
+    assert evaluate_expression("Memory / 1024 >= 8", {"Memory": 8192}) is True
+    assert evaluate_expression("Cpus * 2 + 1 == 9", {"Cpus": 4}) is True
+    assert evaluate_expression("-Cpus < 0", {"Cpus": 4}) is True
+
+
+def test_undefined_attribute_is_false():
+    assert evaluate_expression("NoSuchAttr", {}) is False
+    assert bool(evaluate_expression("NoSuchAttr >= 4", {})) is False
+
+
+def test_true_false_literals():
+    assert evaluate_expression("TRUE", {}) is True
+    assert evaluate_expression("false || Cpus > 1", {"Cpus": 2}) is True
+
+
+def test_chained_comparison():
+    assert evaluate_expression("1 < Cpus < 10", {"Cpus": 4}) is True
+    assert evaluate_expression("1 < Cpus < 3", {"Cpus": 4}) is False
+
+
+def test_string_equality():
+    assert evaluate_expression('Site == "OSG"', {"Site": "OSG"}) is True
+
+
+def test_syntax_error_raises():
+    with pytest.raises(SubmitError):
+        evaluate_expression("Cpus >=", {})
+
+
+def test_disallowed_construct_raises():
+    with pytest.raises(SubmitError):
+        evaluate_expression("__import__('os')", {})
+    with pytest.raises(SubmitError):
+        evaluate_expression("[1,2][0] == 1", {})
+
+
+def test_type_error_in_comparison_collapses_to_false():
+    # Comparing a string against a number doesn't match (UNDEFINED-ish).
+    assert bool(evaluate_expression('Cpus > "four"', {"Cpus": 4})) is False
+
+
+def test_classad_matches():
+    ad = ClassAd(Cpus=8, Memory=16384)
+    assert ad.matches("Cpus >= 4 && Memory >= 8192")
+    assert not ad.matches("Cpus >= 16")
+    assert ad.matches(None)
+    assert ad.matches("")

@@ -1,0 +1,149 @@
+"""Tests for repro.condor.dagfile."""
+
+import pytest
+
+from repro.condor.dagfile import DagDescription, DagNode
+from repro.condor.jobs import JobPayload, JobSpec
+from repro.errors import DagError
+
+
+def spec(name, phase="A"):
+    return JobSpec(name=name, payload=JobPayload(phase=phase))
+
+
+def diamond():
+    dag = DagDescription("diamond")
+    for n in ("a", "b", "c", "d"):
+        dag.add_job(n, spec(n))
+    dag.add_edge("a", "b")
+    dag.add_edge("a", "c")
+    dag.add_edge("b", "d")
+    dag.add_edge("c", "d")
+    return dag
+
+
+def test_basic_structure():
+    dag = diamond()
+    assert len(dag) == 4
+    assert dag.roots() == ["a"]
+    assert dag.parents("d") == ["b", "c"]
+    assert dag.children("a") == ["b", "c"]
+    assert "a" in dag
+
+
+def test_topological_order():
+    order = diamond().topological_order()
+    assert order.index("a") < order.index("b") < order.index("d")
+    assert order.index("a") < order.index("c") < order.index("d")
+
+
+def test_duplicate_node_rejected():
+    dag = DagDescription()
+    dag.add_job("x", spec("x"))
+    with pytest.raises(DagError):
+        dag.add_job("x", spec("x"))
+
+
+def test_unknown_edge_endpoint_rejected():
+    dag = DagDescription()
+    dag.add_job("x", spec("x"))
+    with pytest.raises(DagError):
+        dag.add_edge("x", "nope")
+
+
+def test_self_edge_rejected():
+    dag = DagDescription()
+    dag.add_job("x", spec("x"))
+    with pytest.raises(DagError):
+        dag.add_edge("x", "x")
+
+
+def test_cycle_detected_with_check():
+    dag = DagDescription()
+    dag.add_job("a", spec("a"))
+    dag.add_job("b", spec("b"))
+    dag.add_edge("a", "b")
+    with pytest.raises(DagError):
+        dag.add_edge("b", "a", check=True)
+    # The offending edge was rolled back.
+    dag.validate()
+
+
+def test_cycle_detected_by_validate():
+    dag = DagDescription()
+    dag.add_job("a", spec("a"))
+    dag.add_job("b", spec("b"))
+    dag.add_edge("a", "b")
+    dag.add_edge("b", "a")  # unchecked
+    with pytest.raises(DagError):
+        dag.validate()
+
+
+def test_empty_dag_invalid():
+    with pytest.raises(DagError):
+        DagDescription().validate()
+
+
+def test_add_edges_all_to_all():
+    dag = DagDescription()
+    for n in ("a1", "a2", "b", "c1", "c2"):
+        dag.add_job(n, spec(n))
+    dag.add_edges(["a1", "a2"], ["b"])
+    dag.add_edges(["b"], ["c1", "c2"])
+    assert dag.parents("b") == ["a1", "a2"]
+    assert dag.children("b") == ["c1", "c2"]
+
+
+def test_node_name_validation():
+    with pytest.raises(DagError):
+        DagNode(name="has space", spec=spec("x"))
+    with pytest.raises(DagError):
+        DagNode(name="x", spec=spec("x"), retries=-1)
+
+
+def test_unknown_node_lookup():
+    dag = diamond()
+    with pytest.raises(DagError):
+        dag.node("zzz")
+    with pytest.raises(DagError):
+        dag.parents("zzz")
+
+
+def test_write_read_roundtrip(tmp_path):
+    dag = diamond()
+    dag._nodes["b"] = DagNode(name="b", spec=spec("b"), retries=2)
+    dag_path = dag.write(tmp_path)
+    back = DagDescription.read(dag_path)
+    assert sorted(back.node_names) == sorted(dag.node_names)
+    assert back.parents("d") == ["b", "c"]
+    assert back.node("b").retries == 2
+    assert back.node("a").spec.payload.phase == "A"
+
+
+def test_read_missing_file(tmp_path):
+    with pytest.raises(DagError):
+        DagDescription.read(tmp_path / "nope.dag")
+
+
+def test_read_bad_keyword(tmp_path):
+    path = tmp_path / "bad.dag"
+    path.write_text("FROB x y\n")
+    with pytest.raises(DagError):
+        DagDescription.read(path)
+
+
+def test_read_parent_without_child(tmp_path):
+    path = tmp_path / "bad.dag"
+    (tmp_path / "a.sub").write_text("executable = x\nqueue\n")
+    path.write_text("JOB a a.sub\nPARENT a\n")
+    with pytest.raises(DagError):
+        DagDescription.read(path)
+
+
+def test_multi_parent_child_line(tmp_path):
+    dag_path = tmp_path / "m.dag"
+    for n in ("a", "b", "c"):
+        (tmp_path / f"{n}.sub").write_text("executable = x\nqueue\n")
+    dag_path.write_text("JOB a a.sub\nJOB b b.sub\nJOB c c.sub\nPARENT a b CHILD c\n")
+    dag = DagDescription.read(dag_path)
+    assert dag.parents("c") == ["a", "b"]

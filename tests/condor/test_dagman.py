@@ -1,0 +1,151 @@
+"""Tests for repro.condor.dagman."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.condor.dagfile import DagDescription
+from repro.condor.dagman import DagmanEngine, DagmanOptions, NodeStatus
+from repro.condor.jobs import JobPayload, JobSpec
+from repro.errors import DagError
+
+
+def spec(name):
+    return JobSpec(name=name, payload=JobPayload(phase="A"))
+
+
+def chain(n=3, retries=0):
+    dag = DagDescription("chain")
+    names = [f"n{i}" for i in range(n)]
+    for name in names:
+        dag.add_job(name, spec(name), retries=retries)
+    for a, b in zip(names, names[1:]):
+        dag.add_edge(a, b)
+    return dag, names
+
+
+def fan(n_leaves=5):
+    dag = DagDescription("fan")
+    dag.add_job("root", spec("root"))
+    for i in range(n_leaves):
+        dag.add_job(f"leaf{i}", spec(f"leaf{i}"))
+        dag.add_edge("root", f"leaf{i}")
+    return dag
+
+
+def run_all(engine):
+    """Drive the engine to completion, returning completion order."""
+    order = []
+    while not engine.is_complete:
+        batch = engine.pull_submissions(current_idle=0)
+        if not batch:
+            raise AssertionError("engine stalled")
+        for name in batch:
+            engine.on_node_result(name, success=True)
+            order.append(name)
+    return order
+
+
+def test_chain_releases_in_order():
+    dag, names = chain(4)
+    assert run_all(DagmanEngine(dag)) == names
+
+
+def test_fan_root_first():
+    engine = DagmanEngine(fan(4))
+    first = engine.pull_submissions(0)
+    assert first == ["root"]
+    assert engine.pull_submissions(0) == []  # leaves not ready yet
+    newly = engine.on_node_result("root", True)
+    assert sorted(newly) == [f"leaf{i}" for i in range(4)]
+
+
+def test_respects_parent_completion_exactly():
+    dag = DagDescription("join")
+    for n in ("a", "b", "c"):
+        dag.add_job(n, spec(n))
+    dag.add_edges(["a", "b"], ["c"])
+    engine = DagmanEngine(dag)
+    batch = engine.pull_submissions(0)
+    assert sorted(batch) == ["a", "b"]
+    assert engine.on_node_result("a", True) == []  # c still blocked
+    assert engine.on_node_result("b", True) == ["c"]
+
+
+def test_max_idle_throttle():
+    engine = DagmanEngine(fan(10), DagmanOptions(max_idle=3, submit_batch=100))
+    engine.on_node_result(engine.pull_submissions(0)[0], True)  # root done
+    assert len(engine.pull_submissions(current_idle=0)) == 3
+    assert len(engine.pull_submissions(current_idle=3)) == 0
+    assert len(engine.pull_submissions(current_idle=1)) == 2
+
+
+def test_submit_batch_throttle():
+    engine = DagmanEngine(fan(10), DagmanOptions(max_idle=0, submit_batch=4))
+    engine.on_node_result(engine.pull_submissions(0)[0], True)
+    assert len(engine.pull_submissions(0)) == 4
+    assert len(engine.pull_submissions(0)) == 4
+    assert len(engine.pull_submissions(0)) == 2
+
+
+def test_retry_requeues():
+    dag, names = chain(2, retries=1)
+    engine = DagmanEngine(dag)
+    first = engine.pull_submissions(0)[0]
+    requeued = engine.on_node_result(first, False)
+    assert requeued == [first]
+    assert engine.status(first) is NodeStatus.READY
+    assert not engine.has_failed
+    # Second failure exhausts the single retry.
+    engine.pull_submissions(0)
+    assert engine.on_node_result(first, False) == []
+    assert engine.has_failed
+    assert engine.status(first) is NodeStatus.FAILED
+
+
+def test_counts():
+    engine = DagmanEngine(fan(3))
+    counts = engine.counts()
+    assert counts[NodeStatus.READY] == 1
+    assert counts[NodeStatus.WAITING] == 3
+
+
+def test_result_for_unsubmitted_node_rejected():
+    engine = DagmanEngine(fan(2))
+    with pytest.raises(DagError):
+        engine.on_node_result("leaf0", True)
+
+
+def test_unknown_node_rejected():
+    engine = DagmanEngine(fan(2))
+    with pytest.raises(DagError):
+        engine.status("nope")
+
+
+def test_negative_idle_rejected():
+    engine = DagmanEngine(fan(2))
+    with pytest.raises(DagError):
+        engine.pull_submissions(-1)
+
+
+def test_options_validation():
+    with pytest.raises(DagError):
+        DagmanOptions(max_idle=-1)
+    with pytest.raises(DagError):
+        DagmanOptions(submit_batch=0)
+
+
+@given(st.integers(min_value=1, max_value=12), st.integers(min_value=1, max_value=6))
+@settings(max_examples=25, deadline=None)
+def test_fan_always_completes_with_any_throttles(n_leaves, batch):
+    engine = DagmanEngine(fan(n_leaves), DagmanOptions(max_idle=batch, submit_batch=batch))
+    order = run_all(engine)
+    assert len(order) == n_leaves + 1
+    assert order[0] == "root"
+
+
+@given(st.integers(min_value=2, max_value=10))
+@settings(max_examples=20, deadline=None)
+def test_chain_completion_order_is_topological(n):
+    dag, names = chain(n)
+    assert run_all(DagmanEngine(dag)) == names

@@ -1,0 +1,96 @@
+"""Tests for repro.condor.events."""
+
+import pytest
+
+from repro.condor.events import JobEventType, UserLog, parse_user_log
+from repro.errors import LogParseError
+
+
+def make_log():
+    log = UserLog()
+    log.record(JobEventType.SUBMIT, 1, 10.0, host="schedd-a")
+    log.record(JobEventType.EXECUTE, 1, 95.5, host="slot-7")
+    log.record(JobEventType.TERMINATED, 1, 250.0, return_value=0)
+    log.record(JobEventType.SUBMIT, 2, 12.0, host="schedd-a")
+    log.record(JobEventType.EXECUTE, 2, 100.0, host="slot-9")
+    log.record(JobEventType.EVICTED, 2, 150.0)
+    log.record(JobEventType.EXECUTE, 2, 200.0, host="slot-11")
+    log.record(JobEventType.TERMINATED, 2, 400.0, return_value=1)
+    return log
+
+
+def test_roundtrip_event_count():
+    events = parse_user_log(make_log().render())
+    assert len(events) == 8
+
+
+def test_roundtrip_times_to_second_resolution():
+    events = parse_user_log(make_log().render())
+    assert events[0].time_s == 10.0
+    assert events[1].time_s == 96.0  # rounded to the log's 1 s resolution
+    assert events[2].time_s == 250.0
+
+
+def test_roundtrip_types_and_clusters():
+    events = parse_user_log(make_log().render())
+    assert [e.event_type for e in events[:3]] == [
+        JobEventType.SUBMIT,
+        JobEventType.EXECUTE,
+        JobEventType.TERMINATED,
+    ]
+    assert {e.cluster_id for e in events} == {1, 2}
+
+
+def test_return_values_parsed():
+    events = parse_user_log(make_log().render())
+    terms = [e for e in events if e.event_type is JobEventType.TERMINATED]
+    assert terms[0].return_value == 0
+    assert terms[1].return_value == 1
+
+
+def test_hosts_parsed():
+    events = parse_user_log(make_log().render())
+    assert events[0].host == "schedd-a"
+    assert events[1].host == "slot-7"
+
+
+def test_multiday_timestamps():
+    log = UserLog()
+    log.record(JobEventType.SUBMIT, 3, 2.5 * 86400.0)
+    events = parse_user_log(log.render())
+    assert events[0].time_s == pytest.approx(2.5 * 86400.0)
+
+
+def test_empty_log_renders_empty():
+    assert UserLog().render() == ""
+    assert parse_user_log("") == []
+
+
+def test_negative_time_rejected():
+    with pytest.raises(LogParseError):
+        UserLog().record(JobEventType.SUBMIT, 1, -5.0)
+
+
+def test_unparseable_line_raises():
+    with pytest.raises(LogParseError):
+        parse_user_log("garbage line that is not an event\n")
+
+
+def test_detail_lines_tolerated():
+    text = make_log().render()
+    events = parse_user_log(text)
+    assert len([e for e in events if e.event_type is JobEventType.TERMINATED]) == 2
+
+
+def test_write_and_read_file(tmp_path):
+    log = make_log()
+    path = log.write(tmp_path / "dag.log")
+    assert parse_user_log(path.read_text()) == parse_user_log(log.render())
+
+
+def test_event_codes_match_htcondor():
+    assert JobEventType.SUBMIT.code == "000"
+    assert JobEventType.EXECUTE.code == "001"
+    assert JobEventType.TERMINATED.code == "005"
+    assert JobEventType.ABORTED.code == "009"
+    assert JobEventType.HELD.code == "012"

@@ -1,0 +1,99 @@
+"""Tests for repro.condor.jobs."""
+
+import pytest
+
+from repro.condor.jobs import Job, JobPayload, JobSpec, JobState
+from repro.errors import JobStateError
+
+
+def make_job(**kwargs):
+    return Job(JobSpec(name="j", **kwargs))
+
+
+def test_happy_path_transitions():
+    job = make_job()
+    job.transition(JobState.IDLE, 10.0)
+    job.transition(JobState.RUNNING, 20.0)
+    job.transition(JobState.COMPLETED, 50.0)
+    assert job.submit_time == 10.0
+    assert job.start_time == 20.0
+    assert job.end_time == 50.0
+    assert job.wait_time == 10.0
+    assert job.execution_time == 30.0
+    assert job.is_terminal
+
+
+def test_illegal_transition_raises():
+    job = make_job()
+    with pytest.raises(JobStateError):
+        job.transition(JobState.RUNNING, 0.0)  # unsubmitted -> running
+
+
+def test_completed_is_terminal():
+    job = make_job()
+    job.transition(JobState.IDLE, 0.0)
+    job.transition(JobState.RUNNING, 1.0)
+    job.transition(JobState.COMPLETED, 2.0)
+    with pytest.raises(JobStateError):
+        job.transition(JobState.IDLE, 3.0)
+
+
+def test_eviction_requeues_and_clears_execution():
+    job = make_job()
+    job.transition(JobState.IDLE, 0.0)
+    job.transition(JobState.RUNNING, 5.0)
+    job.slot_name = "slot-1"
+    job.transition(JobState.IDLE, 8.0)  # evicted
+    assert job.submit_time == 0.0  # original submit retained
+    assert job.start_time is None
+    assert job.slot_name is None
+    assert job.wait_time is None
+
+
+def test_failed_can_retry():
+    job = make_job()
+    job.transition(JobState.IDLE, 0.0)
+    job.transition(JobState.RUNNING, 1.0)
+    job.transition(JobState.FAILED, 2.0)
+    job.transition(JobState.IDLE, 3.0)
+    assert job.state is JobState.IDLE
+
+
+def test_hold_release_cycle():
+    job = make_job()
+    job.transition(JobState.IDLE, 0.0)
+    job.transition(JobState.HELD, 1.0)
+    job.transition(JobState.IDLE, 2.0)
+    assert job.state is JobState.IDLE
+
+
+def test_cluster_ids_unique():
+    a, b = make_job(), make_job()
+    assert a.cluster_id != b.cluster_id
+
+
+def test_spec_validation():
+    with pytest.raises(JobStateError):
+        JobSpec(name="")
+    with pytest.raises(JobStateError):
+        JobSpec(name="x", request_cpus=0)
+    with pytest.raises(JobStateError):
+        JobSpec(name="x", request_memory_mb=0)
+    with pytest.raises(JobStateError):
+        JobSpec(name="x", input_files={"f": -1.0})
+
+
+def test_payload_validation():
+    with pytest.raises(JobStateError):
+        JobPayload(phase="Z")
+    with pytest.raises(JobStateError):
+        JobPayload(phase="A", n_items=0)
+    payload = JobPayload(phase="C", n_items=2, n_stations=121)
+    assert payload.phase == "C"
+
+
+def test_wait_time_none_until_started():
+    job = make_job()
+    job.transition(JobState.IDLE, 0.0)
+    assert job.wait_time is None
+    assert job.execution_time is None

@@ -1,0 +1,150 @@
+"""Tests for repro.condor.rescue — rescue DAG files."""
+
+import pytest
+
+from repro.condor.dagfile import DagDescription
+from repro.condor.dagman import DagmanEngine, NodeStatus
+from repro.condor.jobs import JobPayload, JobSpec
+from repro.condor.rescue import (
+    apply_rescue,
+    read_rescue_file,
+    rescue_path,
+    write_rescue_file,
+)
+from repro.errors import DagError
+
+
+def fdw_like_dag():
+    dag = DagDescription("mini")
+    for name in ("a0", "a1"):
+        dag.add_job(name, JobSpec(name=name, payload=JobPayload(phase="A")))
+    dag.add_job("b", JobSpec(name="b", payload=JobPayload(phase="B")))
+    dag.add_edges(["a0", "a1"], ["b"])
+    for name in ("c0", "c1", "c2"):
+        dag.add_job(name, JobSpec(name=name, payload=JobPayload(phase="C")))
+        dag.add_edge("b", name)
+    return dag
+
+
+def partially_run_engine():
+    """Complete A and B, fail c0, leave c1/c2 unrun."""
+    engine = DagmanEngine(fdw_like_dag())
+    for name in engine.pull_submissions(0):  # a0, a1
+        engine.on_node_result(name, True)
+    [b] = engine.pull_submissions(0)
+    engine.on_node_result(b, True)
+    c_batch = engine.pull_submissions(0)
+    engine.on_node_result(c_batch[0], False)  # c0 fails terminally
+    return engine
+
+
+def test_rescue_path_convention():
+    assert rescue_path("dag/fdw.dag").name == "fdw.dag.rescue001"
+    assert rescue_path("fdw.dag", attempt=12).name == "fdw.dag.rescue012"
+    with pytest.raises(DagError):
+        rescue_path("fdw.dag", attempt=0)
+
+
+def test_write_read_roundtrip(tmp_path):
+    engine = partially_run_engine()
+    path = write_rescue_file(engine, tmp_path / "mini.dag.rescue001")
+    done = read_rescue_file(path)
+    assert sorted(done) == ["a0", "a1", "b"]
+
+
+def test_empty_rescue_valid(tmp_path):
+    engine = DagmanEngine(fdw_like_dag())
+    path = write_rescue_file(engine, tmp_path / "r")
+    assert read_rescue_file(path) == []
+
+
+def test_read_malformed(tmp_path):
+    path = tmp_path / "bad.rescue"
+    path.write_text("DONE\n")
+    with pytest.raises(DagError):
+        read_rescue_file(path)
+
+
+def test_read_missing(tmp_path):
+    with pytest.raises(DagError):
+        read_rescue_file(tmp_path / "nope")
+
+
+def test_apply_rescue_skips_done_work(tmp_path):
+    crashed = partially_run_engine()
+    path = write_rescue_file(crashed, tmp_path / "r")
+
+    fresh = DagmanEngine(fdw_like_dag())
+    applied = apply_rescue(fresh, read_rescue_file(path))
+    assert applied == 3
+    # Only the C jobs remain; they are immediately ready.
+    batch = fresh.pull_submissions(0)
+    assert sorted(batch) == ["c0", "c1", "c2"]
+    for name in batch:
+        fresh.on_node_result(name, True)
+    assert fresh.is_complete
+
+
+def test_apply_rescue_counts_consistent(tmp_path):
+    crashed = partially_run_engine()
+    path = write_rescue_file(crashed, tmp_path / "r")
+    fresh = DagmanEngine(fdw_like_dag())
+    apply_rescue(fresh, read_rescue_file(path))
+    counts = fresh.counts()
+    assert counts[NodeStatus.DONE] == 3
+    assert counts[NodeStatus.READY] == 3
+    assert counts[NodeStatus.FAILED] == 0
+
+
+def test_apply_rescue_rejects_unknown_nodes():
+    fresh = DagmanEngine(fdw_like_dag())
+    with pytest.raises(DagError):
+        apply_rescue(fresh, ["zzz"])
+
+
+def test_apply_rescue_rejects_inconsistent():
+    fresh = DagmanEngine(fdw_like_dag())
+    # b done without a1 done is impossible.
+    with pytest.raises(DagError):
+        apply_rescue(fresh, ["a0", "b"])
+
+
+def test_apply_rescue_requires_fresh_engine():
+    engine = partially_run_engine()
+    with pytest.raises(DagError):
+        apply_rescue(engine, ["a0"])
+
+
+def test_mark_done_rejects_submitted():
+    engine = DagmanEngine(fdw_like_dag())
+    batch = engine.pull_submissions(0)
+    with pytest.raises(DagError):
+        engine.mark_done(batch[0])
+
+
+def test_rescued_dag_runs_on_pool(tmp_path):
+    """End-to-end: crash, write rescue, resubmit to the pool — only the
+    remaining jobs execute."""
+    from repro.osg.capacity import FixedCapacity
+    from repro.osg.pool import OSPoolConfig, OSPoolSimulator
+    from repro.osg.transfer import TransferConfig
+
+    crashed = partially_run_engine()
+    path = write_rescue_file(crashed, tmp_path / "r")
+
+    fresh = DagmanEngine(fdw_like_dag())
+    apply_rescue(fresh, read_rescue_file(path))
+
+    pool = OSPoolSimulator(
+        config=OSPoolConfig(
+            transfer=TransferConfig(setup_overhead_s=1.0, include_image=False),
+            success_prob=1.0,
+        ),
+        capacity=FixedCapacity(4),
+        seed=1,
+    )
+    pool.submit_engine(fresh, name="mini")
+    metrics = pool.run()
+    executed = {r.node_name for r in metrics.records}
+    assert executed == {"c0", "c1", "c2"}  # A and B never re-ran
+    assert fresh.is_complete

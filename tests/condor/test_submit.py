@@ -1,0 +1,117 @@
+"""Tests for repro.condor.submit."""
+
+import pytest
+
+from repro.condor.jobs import JobPayload, JobSpec
+from repro.condor.submit import SubmitDescription
+from repro.errors import SubmitError
+
+SAMPLE = """\
+# FDW phase C job
+universe = vanilla
+executable = run_fdw_phase.sh
+arguments = --phase C --start 0 --count 2
+request_cpus = 4
+request_memory = 8GB
+request_disk = 16384MB
+transfer_input_files = gf.mseed.npz, chunk.tar
++fdw_phase = "C"
++fdw_n_items = 2
++fdw_n_stations = 121
+queue
+"""
+
+
+def test_parse_sample():
+    sub = SubmitDescription.parse(SAMPLE)
+    assert sub.queue_count == 1
+    assert sub.commands["executable"] == "run_fdw_phase.sh"
+    assert sub.commands["+fdw_phase"] == '"C"'
+
+
+def test_parse_queue_count():
+    sub = SubmitDescription.parse("executable = x\nqueue 5\n")
+    assert sub.queue_count == 5
+
+
+def test_missing_queue_raises():
+    with pytest.raises(SubmitError):
+        SubmitDescription.parse("executable = x\n")
+
+
+def test_bad_queue_raises():
+    with pytest.raises(SubmitError):
+        SubmitDescription.parse("executable = x\nqueue many\n")
+
+
+def test_unknown_command_raises():
+    with pytest.raises(SubmitError):
+        SubmitDescription.parse("frobnicate = yes\nqueue\n")
+
+
+def test_duplicate_command_raises():
+    with pytest.raises(SubmitError):
+        SubmitDescription.parse("executable = a\nexecutable = b\nqueue\n")
+
+
+def test_missing_equals_raises():
+    with pytest.raises(SubmitError):
+        SubmitDescription.parse("this is not a command\nqueue\n")
+
+
+def test_render_parse_roundtrip():
+    sub = SubmitDescription.parse(SAMPLE)
+    again = SubmitDescription.parse(sub.render())
+    assert again.commands == sub.commands
+    assert again.queue_count == sub.queue_count
+
+
+def test_file_roundtrip(tmp_path):
+    sub = SubmitDescription.parse(SAMPLE)
+    path = sub.write(tmp_path / "job.sub")
+    back = SubmitDescription.read(path)
+    assert back.commands == sub.commands
+
+
+def test_to_job_spec():
+    spec = SubmitDescription.parse(SAMPLE).to_job_spec("C_0")
+    assert spec.name == "C_0"
+    assert spec.request_cpus == 4
+    assert spec.request_memory_mb == 8192
+    assert spec.request_disk_mb == 16384
+    assert spec.payload == JobPayload(phase="C", n_items=2, n_stations=121)
+    assert set(spec.input_files) == {"gf.mseed.npz", "chunk.tar"}
+
+
+def test_memory_parsing_units():
+    sub = SubmitDescription.parse("request_memory = 2GB\nqueue\n")
+    assert sub.to_job_spec("x").request_memory_mb == 2048
+    sub = SubmitDescription.parse("request_memory = 512\nqueue\n")
+    assert sub.to_job_spec("x").request_memory_mb == 512
+
+
+def test_bad_memory_value():
+    sub = SubmitDescription.parse("request_memory = lots\nqueue\n")
+    with pytest.raises(SubmitError):
+        sub.to_job_spec("x")
+
+
+def test_from_job_spec_roundtrip():
+    spec = JobSpec(
+        name="A_3",
+        arguments="--phase A",
+        request_cpus=4,
+        request_memory_mb=8192,
+        request_disk_mb=10000,
+        requirements="Cpus >= 4",
+        input_files={"d1.npy": 3.0, "d2.npy": 3.0},
+        payload=JobPayload(phase="A", n_items=16, n_stations=121),
+    )
+    sub = SubmitDescription.from_job_spec(spec)
+    back = sub.to_job_spec("A_3")
+    assert back.arguments == spec.arguments
+    assert back.request_cpus == spec.request_cpus
+    assert back.request_memory_mb == spec.request_memory_mb
+    assert back.requirements == spec.requirements
+    assert back.payload == spec.payload
+    assert set(back.input_files) == set(spec.input_files)

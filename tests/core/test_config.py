@@ -1,0 +1,110 @@
+"""Tests for repro.core.config."""
+
+import pytest
+
+from repro.core.config import FdwConfig
+from repro.errors import ConfigError
+
+
+def test_defaults_valid():
+    config = FdwConfig()
+    assert config.n_waveforms == 1024
+    assert config.n_stations == 121
+    assert config.n_subfaults == 450
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        FdwConfig(n_waveforms=0)
+    with pytest.raises(ConfigError):
+        FdwConfig(n_stations=0)
+    with pytest.raises(ConfigError):
+        FdwConfig(chunk_a=0)
+    with pytest.raises(ConfigError):
+        FdwConfig(chunk_c=0)
+    with pytest.raises(ConfigError):
+        FdwConfig(mesh=(1, 5))
+    with pytest.raises(ConfigError):
+        FdwConfig(mw_range=(9.0, 8.0))
+    with pytest.raises(ConfigError):
+        FdwConfig(retries=-1)
+    with pytest.raises(ConfigError):
+        FdwConfig(max_idle=-1)
+    with pytest.raises(ConfigError):
+        FdwConfig(name="")
+
+
+def test_with_waveforms():
+    base = FdwConfig(n_waveforms=100, name="x")
+    derived = base.with_waveforms(200)
+    assert derived.n_waveforms == 200
+    assert derived.name == "x"
+    named = base.with_waveforms(300, name="y")
+    assert named.name == "y"
+    assert base.n_waveforms == 100  # immutable original
+
+
+def test_file_roundtrip(tmp_path):
+    config = FdwConfig(
+        n_waveforms=2048,
+        n_stations=2,
+        chunk_a=8,
+        chunk_c=4,
+        recycle_distances=False,
+        mesh=(20, 10),
+        mw_range=(7.8, 9.0),
+        retries=2,
+        max_idle=300,
+        seed=99,
+        name="roundtrip",
+    )
+    path = config.write(tmp_path / "fdw.cfg")
+    assert FdwConfig.read(path) == config
+
+
+def test_read_partial_file_uses_defaults(tmp_path):
+    path = tmp_path / "fdw.cfg"
+    path.write_text("[fdw]\nn_waveforms = 512\n")
+    config = FdwConfig.read(path)
+    assert config.n_waveforms == 512
+    assert config.n_stations == 121
+
+
+def test_read_missing_file(tmp_path):
+    with pytest.raises(ConfigError):
+        FdwConfig.read(tmp_path / "nope.cfg")
+
+
+def test_read_missing_section(tmp_path):
+    path = tmp_path / "bad.cfg"
+    path.write_text("[other]\nx = 1\n")
+    with pytest.raises(ConfigError):
+        FdwConfig.read(path)
+
+
+def test_read_unknown_key(tmp_path):
+    path = tmp_path / "bad.cfg"
+    path.write_text("[fdw]\nturbo = yes\n")
+    with pytest.raises(ConfigError):
+        FdwConfig.read(path)
+
+
+def test_read_bad_value(tmp_path):
+    path = tmp_path / "bad.cfg"
+    path.write_text("[fdw]\nn_waveforms = many\n")
+    with pytest.raises(ConfigError):
+        FdwConfig.read(path)
+
+
+def test_read_bad_mesh(tmp_path):
+    path = tmp_path / "bad.cfg"
+    path.write_text("[fdw]\nmesh = 30by15\n")
+    with pytest.raises(ConfigError):
+        FdwConfig.read(path)
+
+
+def test_read_validates_result(tmp_path):
+    path = tmp_path / "bad.cfg"
+    path.write_text("[fdw]\nn_waveforms = -5\n")
+    with pytest.raises(ConfigError):
+        FdwConfig.read(path)

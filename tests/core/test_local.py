@@ -1,0 +1,103 @@
+"""Tests for repro.core.local."""
+
+import pytest
+
+from repro.core.config import FdwConfig
+from repro.core.local import LocalRunner, estimate_sequential_runtime_s
+from repro.errors import ConfigError
+from repro.osg.runtimes import RuntimeModel
+from repro.seismo.mudpy_io import ProductArchive
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return FdwConfig(
+        n_waveforms=4, n_stations=3, mesh=(8, 5), chunk_a=2, chunk_c=2, name="local"
+    )
+
+
+@pytest.fixture(scope="module")
+def run_result(tiny_config):
+    return LocalRunner().run(tiny_config)
+
+
+def test_produces_all_waveform_sets(run_result, tiny_config):
+    assert run_result.n_waveform_sets == tiny_config.n_waveforms
+    assert len(run_result.pgd_by_rupture) == tiny_config.n_waveforms
+
+
+def test_phase_timings_recorded(run_result):
+    assert set(run_result.phase_seconds) == {"dist", "A", "B", "C"}
+    assert all(t >= 0 for t in run_result.phase_seconds.values())
+    assert run_result.total_seconds > 0
+
+
+def test_pgds_positive(run_result):
+    assert all(v > 0 for v in run_result.pgd_by_rupture.values())
+
+
+def test_archiving(tmp_path, tiny_config):
+    result = LocalRunner().run(tiny_config, archive_dir=tmp_path / "arch")
+    archive = ProductArchive(tmp_path / "arch")
+    assert sorted(archive.kinds()) == ["ruptures", "waveforms"]
+    assert len(archive.find(kind="waveforms")) == tiny_config.n_waveforms
+    assert len(archive.find(kind="ruptures")) == tiny_config.n_waveforms
+    assert result.archive_root == archive.root
+    # No temp files left behind.
+    assert not list(archive.root.glob("_tmp_*"))
+
+
+def test_deterministic_products(tiny_config):
+    a = LocalRunner().run(tiny_config)
+    b = LocalRunner().run(tiny_config)
+    assert a.pgd_by_rupture == b.pgd_by_rupture
+
+
+def test_worker_validation():
+    with pytest.raises(ConfigError):
+        LocalRunner(n_workers=0)
+
+
+def test_estimate_uses_aws_per_item_costs():
+    # 1,024 full-input waveforms on the 4-CPU AWS control: the measured
+    # per-chunk costs (287 s / 16 ruptures, 144 s / 2 waveforms) plus
+    # one GF build and one distance-matrix build, MPI-spread over 4
+    # cores — about 6.9 hours.
+    config = FdwConfig(n_waveforms=1024, n_stations=121)
+    model = RuntimeModel()
+    total = estimate_sequential_runtime_s(config, model)
+    expected = (
+        1024 * (287.0 / 16.0 + 144.0 / 2.0)
+        + model.b_base_s
+        + 121 * model.b_per_station_s
+        + model.dist_base_s
+    ) / 4.0
+    assert total == pytest.approx(expected)
+    assert 5.0 * 3600 < total < 9.0 * 3600
+
+
+def test_estimate_scales_with_cpus():
+    config = FdwConfig(n_waveforms=256, n_stations=121)
+    one = estimate_sequential_runtime_s(config, n_cpus=1)
+    four = estimate_sequential_runtime_s(config, n_cpus=4)
+    assert one == pytest.approx(4.0 * four)
+    with pytest.raises(ConfigError):
+        estimate_sequential_runtime_s(config, n_cpus=0)
+
+
+def test_estimate_counts_distance_build_once():
+    recycled = FdwConfig(n_waveforms=64, recycle_distances=True)
+    explicit = FdwConfig(n_waveforms=64, recycle_distances=False)
+    model = RuntimeModel()
+    assert estimate_sequential_runtime_s(recycled, model) == pytest.approx(
+        estimate_sequential_runtime_s(explicit, model)
+    )
+
+
+def test_estimate_small_input_faster():
+    model = RuntimeModel()
+    full = estimate_sequential_runtime_s(FdwConfig(n_waveforms=2048, n_stations=121), model)
+    small = estimate_sequential_runtime_s(FdwConfig(n_waveforms=2048, n_stations=2), model)
+    # The waveform-synthesis term scales with the station list; the
+    # rupture term does not, so the gap is large but bounded.
+    assert full > 3 * small

@@ -1,0 +1,121 @@
+"""Tests for repro.core.monitor — log-derived statistics."""
+
+import numpy as np
+import pytest
+
+from repro.condor.events import JobEventType, UserLog
+from repro.core.monitor import DagmanStats
+from repro.errors import LogParseError
+
+
+def build_log():
+    log = UserLog()
+    # Job 1: normal life cycle.
+    log.record(JobEventType.SUBMIT, 1, 0.0)
+    log.record(JobEventType.EXECUTE, 1, 100.0, host="slot-1")
+    log.record(JobEventType.TERMINATED, 1, 400.0, return_value=0)
+    # Job 2: evicted once, then completes.
+    log.record(JobEventType.SUBMIT, 2, 10.0)
+    log.record(JobEventType.EXECUTE, 2, 60.0, host="slot-2")
+    log.record(JobEventType.EVICTED, 2, 90.0)
+    log.record(JobEventType.EXECUTE, 2, 200.0, host="slot-3")
+    log.record(JobEventType.TERMINATED, 2, 500.0, return_value=0)
+    # Job 3: fails.
+    log.record(JobEventType.SUBMIT, 3, 20.0)
+    log.record(JobEventType.EXECUTE, 3, 120.0, host="slot-4")
+    log.record(JobEventType.TERMINATED, 3, 220.0, return_value=1)
+    # Job 4: still idle (no execute).
+    log.record(JobEventType.SUBMIT, 4, 30.0)
+    return log
+
+
+@pytest.fixture()
+def parsed():
+    return DagmanStats.from_log_text(build_log().render())
+
+
+def test_job_counts(parsed):
+    assert parsed.n_jobs == 4
+    assert parsed.n_completed == 2
+    assert parsed.n_failed == 1
+
+
+def test_eviction_counted_and_last_execute_used(parsed):
+    job2 = parsed.jobs[2]
+    assert job2.n_evictions == 1
+    assert job2.start_time == 200.0
+    assert job2.exec_s == 300.0
+    assert job2.wait_s == 190.0  # last execute - submit
+
+
+def test_runtime_first_submit_to_last_termination(parsed):
+    assert parsed.runtime_s() == 500.0
+
+
+def test_total_throughput(parsed):
+    # 2 completed over 500 s.
+    assert parsed.total_throughput_jpm() == pytest.approx(2.0 / (500.0 / 60.0))
+
+
+def test_wait_and_exec_arrays(parsed):
+    waits = parsed.wait_times_s()
+    assert list(waits) == sorted(waits)
+    assert len(waits) == 3  # job 4 never started
+    execs = parsed.exec_times_s()
+    assert len(execs) == 3
+    assert np.all(execs > 0)
+
+
+def test_idle_job_timing(parsed):
+    job4 = parsed.jobs[4]
+    assert job4.start_time is None
+    assert job4.wait_s is None
+    assert not job4.completed and not job4.failed
+
+
+def test_report_contains_headlines(parsed):
+    report = parsed.report("demo")
+    assert "demo" in report
+    assert "4 submitted" in report
+    assert "2 completed" in report
+    assert "1 failed" in report
+    assert "jobs/min" in report
+
+
+def test_duplicate_submit_rejected():
+    log = UserLog()
+    log.record(JobEventType.SUBMIT, 1, 0.0)
+    log.record(JobEventType.SUBMIT, 1, 5.0)
+    with pytest.raises(LogParseError):
+        DagmanStats.from_log_text(log.render())
+
+
+def test_empty_log_runtime_rejected():
+    stats = DagmanStats.from_log_text("")
+    with pytest.raises(LogParseError):
+        stats.runtime_s()
+
+
+def test_from_log_file(tmp_path, parsed):
+    path = build_log().write(tmp_path / "dag.log")
+    stats = DagmanStats.from_log_file(path)
+    assert stats.n_jobs == parsed.n_jobs
+
+
+def test_missing_log_file(tmp_path):
+    with pytest.raises(LogParseError):
+        DagmanStats.from_log_file(tmp_path / "nope.log")
+
+
+def test_log_derived_stats_match_simulator(tiny_batch_result, tiny_fdw_config):
+    """The monitoring path (text only) agrees with the recorder."""
+    name = tiny_fdw_config.name
+    stats = DagmanStats.from_log_text(tiny_batch_result.user_logs[name])
+    summary = tiny_batch_result.metrics.dagmans[name]
+    assert stats.n_completed == sum(
+        1 for r in tiny_batch_result.metrics.for_dagman(name) if r.success
+    )
+    assert stats.runtime_s() == pytest.approx(summary.runtime_s, abs=2.0)
+    assert stats.total_throughput_jpm() == pytest.approx(
+        summary.throughput_jpm, rel=0.02
+    )

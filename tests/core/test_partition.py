@@ -1,0 +1,67 @@
+"""Tests for repro.core.partition."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import FdwConfig
+from repro.core.partition import partition_config
+from repro.errors import ConfigError
+
+
+def test_single_partition_is_identity():
+    config = FdwConfig(n_waveforms=100, name="x", seed=5)
+    [only] = partition_config(config, 1)
+    assert only == config
+
+
+def test_even_split():
+    parts = partition_config(FdwConfig(n_waveforms=16000, name="x"), 4)
+    assert [p.n_waveforms for p in parts] == [4000] * 4
+    assert [p.name for p in parts] == ["x_p00", "x_p01", "x_p02", "x_p03"]
+
+
+def test_remainder_distributed_to_first():
+    parts = partition_config(FdwConfig(n_waveforms=10, name="x"), 3)
+    assert [p.n_waveforms for p in parts] == [4, 3, 3]
+
+
+def test_seeds_distinct():
+    parts = partition_config(FdwConfig(n_waveforms=100, name="x", seed=7), 4)
+    seeds = [p.seed for p in parts]
+    assert len(set(seeds)) == 4
+
+
+def test_partition_deterministic():
+    a = partition_config(FdwConfig(n_waveforms=100, seed=7), 4)
+    b = partition_config(FdwConfig(n_waveforms=100, seed=7), 4)
+    assert a == b
+
+
+def test_other_fields_preserved():
+    config = FdwConfig(n_waveforms=100, n_stations=2, chunk_c=4, name="x")
+    for p in partition_config(config, 2):
+        assert p.n_stations == 2
+        assert p.chunk_c == 4
+
+
+def test_validation():
+    config = FdwConfig(n_waveforms=4)
+    with pytest.raises(ConfigError):
+        partition_config(config, 0)
+    with pytest.raises(ConfigError):
+        partition_config(config, 5)
+
+
+@given(
+    st.integers(min_value=1, max_value=50000),
+    st.integers(min_value=1, max_value=16),
+)
+@settings(max_examples=50, deadline=None)
+def test_partition_conserves_waveforms(n, k):
+    if k > n:
+        k = n
+    parts = partition_config(FdwConfig(n_waveforms=n, name="x"), k)
+    assert sum(p.n_waveforms for p in parts) == n
+    assert len(parts) == k
+    assert max(p.n_waveforms for p in parts) - min(p.n_waveforms for p in parts) <= 1

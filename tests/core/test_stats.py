@@ -1,0 +1,100 @@
+"""Tests for repro.core.stats — the paper's equations (1)-(7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import stats
+from repro.errors import SimulationError
+
+
+def test_eq1_average_total_runtime():
+    # (r1 + r2 + r3) / 3
+    assert stats.average_total_runtime([3600.0, 7200.0, 10800.0]) == 7200.0
+
+
+def test_eq2_average_total_throughput():
+    # ((j1/r1) + (j2/r2) + (j3/r3)) / 3, in jobs/minute.
+    beta = stats.average_total_throughput([60, 120], [3600.0, 3600.0])
+    assert beta == pytest.approx((1.0 + 2.0) / 2.0)
+
+
+def test_eq5_instant_throughput():
+    # omega = j / m with m in minutes.
+    assert stats.instant_throughput(30, 120.0) == pytest.approx(15.0)
+
+
+def test_eq6_average_instant_throughput():
+    series = np.array([0.0, 10.0, 20.0])
+    assert stats.average_instant_throughput(series) == pytest.approx(10.0)
+
+
+def test_eq7_cost():
+    # delta = C_m * c with the paper's EC2 price.
+    assert stats.bursting_cost_usd(1000.0) == pytest.approx(1.7)
+    assert stats.bursting_cost_usd(100.0, usd_per_minute=0.01) == pytest.approx(1.0)
+
+
+def test_ec2_price_constant():
+    assert stats.EC2_A1_XLARGE_USD_PER_MINUTE == 0.0017
+
+
+def test_validation():
+    with pytest.raises(SimulationError):
+        stats.average_total_runtime([])
+    with pytest.raises(SimulationError):
+        stats.average_total_runtime([-1.0])
+    with pytest.raises(SimulationError):
+        stats.average_total_throughput([1, 2], [100.0])
+    with pytest.raises(SimulationError):
+        stats.instant_throughput(-1, 60.0)
+    with pytest.raises(SimulationError):
+        stats.average_instant_throughput(np.array([]))
+    with pytest.raises(SimulationError):
+        stats.average_instant_throughput(np.array([-1.0]))
+    with pytest.raises(SimulationError):
+        stats.bursting_cost_usd(-1.0)
+
+
+def test_summarize():
+    s = stats.summarize([1.0, 2.0, 3.0, 4.0])
+    assert s.mean == 2.5
+    assert s.minimum == 1.0
+    assert s.maximum == 4.0
+    assert s.n == 4
+    assert s.sd == pytest.approx(np.std([1, 2, 3, 4]))
+    assert "mean=2.50" in str(s)
+
+
+def test_summarize_empty():
+    with pytest.raises(SimulationError):
+        stats.summarize([])
+
+
+@given(st.lists(st.floats(min_value=1.0, max_value=1e6), min_size=1, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_eq1_bounded_by_extremes(runtimes):
+    alpha = stats.average_total_runtime(runtimes)
+    # 1-ulp slack: np.mean of identical values can round past the bound.
+    slack = 1e-9 * max(runtimes)
+    assert min(runtimes) - slack <= alpha <= max(runtimes) + slack
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=10**5),
+            st.floats(min_value=60.0, max_value=1e6),
+        ),
+        min_size=1,
+        max_size=10,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_eq2_bounded_by_extreme_ratios(pairs):
+    jobs = [j for j, _ in pairs]
+    runtimes = [r for _, r in pairs]
+    beta = stats.average_total_throughput(jobs, runtimes)
+    ratios = [60.0 * j / r for j, r in pairs]
+    assert min(ratios) - 1e-9 <= beta <= max(ratios) + 1e-9

@@ -1,0 +1,59 @@
+"""Tests for repro.eew.evaluate."""
+
+import numpy as np
+import pytest
+
+from repro.eew.evaluate import train_test_evaluate
+from repro.errors import WaveformError
+from repro.seismo.fakequakes import FakeQuakes, FakeQuakesParameters
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    params = FakeQuakesParameters(n_ruptures=16, n_stations=10, mesh=(12, 7), seed=6)
+    fq = FakeQuakes.from_parameters(params)
+    sets = fq.run_sequential()
+    return fq, fq.phase_a_ruptures(), sets
+
+
+def test_evaluation_accuracy(catalog):
+    fq, ruptures, sets = catalog
+    ev = train_test_evaluate(fq, ruptures, sets, train_fraction=0.7)
+    assert ev.n_events == 5
+    # Clean synthetics + the true generating physics: tight recovery.
+    assert ev.mean_absolute_error < 0.25
+    assert abs(ev.bias) < 0.25
+    assert np.isfinite(ev.median_convergence_s)
+
+
+def test_coefficients_physical(catalog):
+    fq, ruptures, sets = catalog
+    ev = train_test_evaluate(fq, ruptures, sets)
+    a, b, c = ev.coefficients
+    assert b > 0 and c < 0
+
+
+def test_report_contents(catalog):
+    fq, ruptures, sets = catalog
+    ev = train_test_evaluate(fq, ruptures, sets)
+    text = ev.report()
+    assert "EEW magnitude evaluation" in text
+    assert "mean |error|" in text
+    assert "test events: 5" in text
+
+
+def test_validation(catalog):
+    fq, ruptures, sets = catalog
+    with pytest.raises(WaveformError):
+        train_test_evaluate(fq, ruptures[:-1], sets)
+    with pytest.raises(WaveformError):
+        train_test_evaluate(fq, ruptures, sets, train_fraction=1.5)
+    with pytest.raises(WaveformError):
+        train_test_evaluate(fq, ruptures[:3], sets[:3], train_fraction=0.9)
+
+
+def test_convergence_metric_positive(catalog):
+    fq, ruptures, sets = catalog
+    ev = train_test_evaluate(fq, ruptures, sets, tolerance=0.3)
+    finite = np.isfinite(ev.convergence_s)
+    assert np.all(ev.convergence_s[finite] >= 0)

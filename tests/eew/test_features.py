@@ -1,0 +1,70 @@
+"""Tests for repro.eew.features."""
+
+import numpy as np
+import pytest
+
+from repro.eew.features import detection_times, evolving_pgd
+from repro.errors import WaveformError
+from repro.seismo.waveforms import WaveformSet
+
+
+def make_ws(data: np.ndarray, dt: float = 1.0) -> WaveformSet:
+    names = tuple(f"S{i:03d}" for i in range(data.shape[0]))
+    return WaveformSet(rupture_id="t", data=data, dt_s=dt, station_names=names)
+
+
+def test_evolving_pgd_monotone():
+    rng = np.random.default_rng(0)
+    data = rng.normal(0, 0.1, (3, 3, 50))
+    pgd = evolving_pgd(make_ws(data))
+    assert pgd.shape == (3, 50)
+    assert np.all(np.diff(pgd, axis=1) >= -1e-15)
+
+
+def test_evolving_pgd_final_equals_pgd():
+    rng = np.random.default_rng(1)
+    data = rng.normal(0, 0.1, (2, 3, 30))
+    ws = make_ws(data)
+    np.testing.assert_allclose(evolving_pgd(ws)[:, -1], ws.pgd_m())
+
+
+def test_evolving_pgd_simple_ramp():
+    data = np.zeros((1, 3, 5))
+    data[0, 0] = [0.0, 1.0, 0.5, 2.0, 1.0]  # east component only
+    pgd = evolving_pgd(make_ws(data))
+    np.testing.assert_allclose(pgd[0], [0.0, 1.0, 1.0, 2.0, 2.0])
+
+
+def test_detection_times():
+    data = np.zeros((2, 3, 10))
+    data[0, 2, 4:] = 0.05  # station 0 triggers at t=4
+    ws = make_ws(data)
+    times = detection_times(ws, threshold_m=0.01)
+    assert times[0] == 4.0
+    assert np.isinf(times[1])
+
+
+def test_detection_respects_dt():
+    data = np.zeros((1, 3, 10))
+    data[0, 2, 3:] = 1.0
+    ws = make_ws(data, dt=5.0)
+    assert detection_times(ws)[0] == 15.0
+
+
+def test_detection_threshold_validation():
+    data = np.zeros((1, 3, 4))
+    with pytest.raises(WaveformError):
+        detection_times(make_ws(data), threshold_m=0.0)
+
+
+def test_closer_stations_trigger_earlier(small_gf_bank, sample_rupture):
+    from repro.seismo.waveforms import WaveformSynthesizer
+
+    ws = WaveformSynthesizer(small_gf_bank).synthesize(sample_rupture)
+    times = detection_times(ws, threshold_m=1e-4)
+    patch = sample_rupture.subfault_indices
+    tt_min = small_gf_bank.travel_time_s[:, patch].min(axis=1)
+    finite = np.isfinite(times)
+    assert finite.sum() >= 2
+    # Detection can never precede the earliest possible arrival.
+    assert np.all(times[finite] >= tt_min[finite] - ws.dt_s)

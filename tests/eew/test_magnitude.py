@@ -1,0 +1,117 @@
+"""Tests for repro.eew.magnitude."""
+
+import numpy as np
+import pytest
+
+from repro.eew.magnitude import PgdMagnitudeEstimator, hypocentral_distances_km
+from repro.errors import WaveformError
+from repro.seismo.validation import PgdFit
+
+#: A physically-shaped coefficient set for closed-form tests.
+COEFS = dict(a=-5.0, b=1.2, c=-0.2)
+
+
+def synth_pgd(mw: float, r_km: np.ndarray) -> np.ndarray:
+    """PGD exactly on the scaling law."""
+    return 10.0 ** (COEFS["a"] + COEFS["b"] * mw + COEFS["c"] * mw * np.log10(r_km))
+
+
+def test_exact_inversion():
+    est = PgdMagnitudeEstimator(**COEFS, min_pgd_m=1e-12)
+    r = np.array([50.0, 120.0, 400.0])
+    pgd = synth_pgd(8.2, r)
+    mw = est.station_magnitudes(pgd, r)
+    np.testing.assert_allclose(mw, 8.2, rtol=1e-9)
+    assert est.estimate(pgd, r) == pytest.approx(8.2)
+
+
+def test_below_floor_ignored():
+    est = PgdMagnitudeEstimator(**COEFS, min_pgd_m=0.01)
+    r = np.array([50.0, 100.0])
+    pgd = np.array([0.5, 1e-5])
+    mw = est.station_magnitudes(pgd, r)
+    assert np.isfinite(mw[0])
+    assert np.isnan(mw[1])
+
+
+def test_all_below_floor_gives_nan():
+    est = PgdMagnitudeEstimator(**COEFS, min_pgd_m=0.01)
+    assert np.isnan(est.estimate(np.array([1e-5]), np.array([50.0])))
+
+
+def test_shape_mismatch_rejected():
+    est = PgdMagnitudeEstimator(**COEFS)
+    with pytest.raises(WaveformError):
+        est.station_magnitudes(np.ones(3), np.ones(2))
+
+
+def test_from_fit():
+    fit = PgdFit(a=-5.0, b=1.2, c=-0.2, residual_std=0.1, n_points=100)
+    est = PgdMagnitudeEstimator.from_fit(fit)
+    assert est.a == fit.a and est.b == fit.b and est.c == fit.c
+
+
+def test_validation():
+    with pytest.raises(WaveformError):
+        PgdMagnitudeEstimator(a=0.0, b=-1.0, c=-0.2)
+    with pytest.raises(WaveformError):
+        PgdMagnitudeEstimator(a=0.0, b=1.0, c=-0.2, min_pgd_m=0.0)
+
+
+def test_hypocentral_distances(small_geometry, small_network, sample_rupture):
+    r = hypocentral_distances_km(sample_rupture, small_geometry, small_network)
+    assert r.shape == (len(small_network),)
+    hypo = sample_rupture.subfault_indices[sample_rupture.hypocenter_index]
+    assert np.all(r >= small_geometry.depth_km[hypo] - 1e-9)
+
+
+def test_time_to_within():
+    est = PgdMagnitudeEstimator(**COEFS)
+    evolving = np.array([np.nan, 5.0, 7.9, 8.1, 8.05, 8.02])
+    t = est.time_to_within(evolving, true_mw=8.0, tolerance=0.3, dt_s=2.0)
+    assert t == 4.0  # index 2, dt 2 s
+
+
+def test_time_to_within_requires_staying():
+    est = PgdMagnitudeEstimator(**COEFS)
+    # Dips into the band then leaves: convergence only at the final entry.
+    evolving = np.array([8.0, 9.5, 8.1, 8.1])
+    t = est.time_to_within(evolving, 8.0, 0.3, dt_s=1.0)
+    assert t == 2.0
+
+
+def test_time_to_within_never():
+    est = PgdMagnitudeEstimator(**COEFS)
+    assert est.time_to_within(np.array([5.0, 5.0]), 8.0, 0.3, 1.0) == np.inf
+
+
+def test_time_to_within_validation():
+    est = PgdMagnitudeEstimator(**COEFS)
+    with pytest.raises(WaveformError):
+        est.time_to_within(np.array([8.0]), 8.0, 0.0, 1.0)
+
+
+def test_evolving_estimate_converges_to_truth(small_geometry, small_network,
+                                              small_gf_bank, rupture_generator):
+    """End-to-end: fit on a small catalog, then the evolving estimate of
+    a fresh event must converge near its true magnitude."""
+    from repro.eew.magnitude import PgdMagnitudeEstimator
+    from repro.seismo.validation import pgd_regression
+    from repro.seismo.waveforms import WaveformSynthesizer
+
+    rng = np.random.default_rng(3)
+    synth = WaveformSynthesizer(small_gf_bank)
+    train_r = [rupture_generator.generate(rng, f"tr.{i}") for i in range(6)]
+    train_w = [synth.synthesize(r) for r in train_r]
+    fit = pgd_regression(train_w, train_r, small_geometry, small_network,
+                         min_pgd_m=1e-4)
+    est = PgdMagnitudeEstimator.from_fit(fit, min_pgd_m=1e-3)
+
+    test_rupture = rupture_generator.generate(rng, "test", target_mw=8.6)
+    ws = synth.synthesize(test_rupture)
+    evolving = est.evolving_estimate(ws, test_rupture, small_geometry, small_network)
+    final = evolving[np.isfinite(evolving)][-1]
+    assert final == pytest.approx(8.6, abs=0.5)
+    # Estimates grow toward the truth as PGD accumulates (no wild
+    # overshoot at the end of the record).
+    assert est.time_to_within(evolving, 8.6, 0.6, ws.dt_s) < np.inf

@@ -1,0 +1,110 @@
+"""Tests for repro.osg.capacity."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CapacityError
+from repro.osg.capacity import (
+    FixedCapacity,
+    MarkovModulatedCapacity,
+    default_ospool_capacity,
+)
+
+
+def test_fixed_capacity_constant():
+    proc = FixedCapacity(slots=100)
+    rng = np.random.default_rng(0)
+    assert proc.initial(rng) == 100
+    dwell, cap = proc.next_change(rng)
+    assert cap == 100
+    assert dwell > 0
+
+
+def test_fixed_capacity_validation():
+    with pytest.raises(CapacityError):
+        FixedCapacity(slots=0)
+
+
+def test_markov_dwells_positive_and_capacities_near_levels():
+    proc = MarkovModulatedCapacity(levels=[50, 100, 200], jitter=0.1)
+    rng = np.random.default_rng(1)
+    proc.initial(rng)
+    for _ in range(200):
+        dwell, cap = proc.next_change(rng)
+        assert dwell >= 1.0
+        assert 40 <= cap <= 225  # levels +/- jitter
+
+
+def test_markov_no_jitter_exact_levels():
+    proc = MarkovModulatedCapacity(levels=[50, 100], jitter=0.0)
+    rng = np.random.default_rng(2)
+    caps = {proc.next_change(rng)[1] for _ in range(50)}
+    assert caps <= {50, 100}
+
+
+def test_markov_nearest_neighbour_walk():
+    proc = MarkovModulatedCapacity(levels=[10, 20, 30], jitter=0.0)
+    rng = np.random.default_rng(3)
+    proc._state = 0
+    _, cap = proc.next_change(rng)
+    assert cap == 20  # from the lowest state, must step up
+
+
+def test_markov_single_state():
+    proc = MarkovModulatedCapacity(levels=[64], jitter=0.0)
+    rng = np.random.default_rng(4)
+    assert proc.initial(rng) == 64
+    assert proc.next_change(rng)[1] == 64
+
+
+def test_markov_custom_transition_matrix():
+    t = np.array([[0.0, 1.0], [1.0, 0.0]])
+    proc = MarkovModulatedCapacity(levels=[10, 99], mean_dwell_s=60.0, transition=t, jitter=0.0)
+    rng = np.random.default_rng(5)
+    proc._state = 0
+    caps = [proc.next_change(rng)[1] for _ in range(4)]
+    assert caps == [99, 10, 99, 10]
+
+
+def test_markov_validation():
+    with pytest.raises(CapacityError):
+        MarkovModulatedCapacity(levels=[])
+    with pytest.raises(CapacityError):
+        MarkovModulatedCapacity(levels=[0, 10])
+    with pytest.raises(CapacityError):
+        MarkovModulatedCapacity(levels=[10], mean_dwell_s=[1.0, 2.0])
+    with pytest.raises(CapacityError):
+        MarkovModulatedCapacity(levels=[10], mean_dwell_s=-5.0)
+    with pytest.raises(CapacityError):
+        MarkovModulatedCapacity(levels=[10, 20], jitter=1.5)
+    with pytest.raises(CapacityError):
+        MarkovModulatedCapacity(
+            levels=[10, 20], transition=np.array([[0.5, 0.4], [0.5, 0.5]])
+        )
+
+
+def test_markov_deterministic_per_seed():
+    a = MarkovModulatedCapacity(levels=[10, 20, 30])
+    b = MarkovModulatedCapacity(levels=[10, 20, 30])
+    ra, rb = np.random.default_rng(6), np.random.default_rng(6)
+    a.initial(ra)
+    b.initial(rb)
+    assert [a.next_change(ra) for _ in range(10)] == [
+        b.next_change(rb) for _ in range(10)
+    ]
+
+
+def test_default_process_statistics():
+    proc = default_ospool_capacity()
+    rng = np.random.default_rng(7)
+    proc.initial(rng)
+    samples, weights = [], []
+    for _ in range(3000):
+        dwell, cap = proc.next_change(rng)
+        samples.append(cap)
+        weights.append(dwell)
+    mean = np.average(samples, weights=weights)
+    # Stationary mean calibrated to the mid-200s (DESIGN.md).
+    assert 180 < mean < 320
+    # Bursts past 400 must occur (the Fig 4 running-job peaks).
+    assert max(samples) > 400

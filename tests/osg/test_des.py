@@ -1,0 +1,132 @@
+"""Tests for repro.osg.des."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.osg.des import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, lambda: fired.append("b"))
+    sim.schedule(1.0, lambda: fired.append("a"))
+    sim.schedule(9.0, lambda: fired.append("c"))
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_break_by_schedule_order():
+    sim = Simulator()
+    fired = []
+    for tag in "abc":
+        sim.schedule(3.0, lambda t=tag: fired.append(t))
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_now_advances():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [2.5]
+    assert sim.now == 2.5
+
+
+def test_events_can_schedule_events():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append(sim.now)
+        sim.schedule(1.0, lambda: fired.append(sim.now))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert fired == [1.0, 2.0]
+
+
+def test_run_until_leaves_future_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(10.0, lambda: fired.append(10))
+    sim.run(until=5.0)
+    assert fired == [1]
+    assert sim.now == 5.0
+    assert sim.pending == 1
+    sim.run()
+    assert fired == [1, 10]
+
+
+def test_cancel():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, lambda: fired.append(1))
+    Simulator.cancel(handle)
+    assert handle.cancelled
+    sim.run()
+    assert fired == []
+    assert sim.pending == 0
+
+
+def test_stop_when():
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+    sim.run(stop_when=lambda: len(fired) >= 2)
+    assert fired == [0, 1]
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def loop():
+        sim.schedule(0.0, loop)
+
+    sim.schedule(0.0, loop)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+
+    def reenter():
+        sim.run()
+
+    sim.schedule(1.0, reenter)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_handle_reports_time():
+    sim = Simulator()
+    handle = sim.schedule(4.5, lambda: None)
+    assert handle.time == 4.5
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=60))
+@settings(max_examples=40, deadline=None)
+def test_arbitrary_delays_fire_sorted(delays):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.schedule(d, lambda d=d: fired.append(d))
+    sim.run()
+    assert fired == sorted(fired, key=float) or fired == sorted(fired)
+    assert len(fired) == len(delays)

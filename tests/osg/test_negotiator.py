@@ -1,0 +1,76 @@
+"""Tests for repro.osg.negotiator."""
+
+import pytest
+
+from repro.condor.jobs import Job, JobSpec, JobState
+from repro.errors import SimulationError
+from repro.osg.negotiator import NegotiatorConfig, negotiate
+from repro.osg.schedd import ScheddQueue
+
+
+def queue_with(name, n):
+    q = ScheddQueue(name)
+    for i in range(n):
+        job = Job(JobSpec(name=f"{name}{i}"))
+        job.transition(JobState.IDLE, 0.0)
+        q.enqueue(f"{name}{i}", job)
+    return q
+
+
+def test_single_queue_fifo():
+    q = queue_with("a", 5)
+    matches = negotiate([q], free_slots=3, config=NegotiatorConfig())
+    assert [m[1] for m in matches] == ["a0", "a1", "a2"]
+    assert q.n_idle == 2
+
+
+def test_round_robin_across_queues():
+    qa, qb = queue_with("a", 3), queue_with("b", 3)
+    matches = negotiate([qa, qb], free_slots=4, config=NegotiatorConfig())
+    assert [m[1] for m in matches] == ["a0", "b0", "a1", "b1"]
+
+
+def test_fair_share_with_uneven_queues():
+    qa, qb = queue_with("a", 1), queue_with("b", 5)
+    matches = negotiate([qa, qb], free_slots=4, config=NegotiatorConfig())
+    # a gets its single job, b fills the remainder.
+    names = [m[1] for m in matches]
+    assert names == ["a0", "b0", "b1", "b2"]
+
+
+def test_match_limit_per_cycle():
+    q = queue_with("a", 10)
+    matches = negotiate(
+        [q], free_slots=10, config=NegotiatorConfig(match_limit_per_cycle=4)
+    )
+    assert len(matches) == 4
+
+
+def test_no_free_slots_no_matches():
+    q = queue_with("a", 3)
+    assert negotiate([q], free_slots=0, config=NegotiatorConfig()) == []
+    assert q.n_idle == 3
+
+
+def test_empty_queues_no_matches():
+    assert negotiate([ScheddQueue("a")], 10, NegotiatorConfig()) == []
+
+
+def test_negative_free_slots_rejected():
+    with pytest.raises(SimulationError):
+        negotiate([], -1, NegotiatorConfig())
+
+
+def test_config_validation():
+    with pytest.raises(SimulationError):
+        NegotiatorConfig(cycle_s=0.0)
+    with pytest.raises(SimulationError):
+        NegotiatorConfig(match_limit_per_cycle=0)
+
+
+def test_matches_reference_source_queue():
+    qa, qb = queue_with("a", 2), queue_with("b", 2)
+    matches = negotiate([qa, qb], free_slots=4, config=NegotiatorConfig())
+    assert {m[0].name for m in matches} == {"a", "b"}
+    # All four jobs drained.
+    assert qa.n_idle == 0 and qb.n_idle == 0

@@ -1,0 +1,241 @@
+"""Tests for repro.osg.pool — the integrated pool simulator."""
+
+import numpy as np
+import pytest
+
+from repro.condor.dagfile import DagDescription
+from repro.condor.dagman import DagmanOptions
+from repro.condor.jobs import JobPayload, JobSpec
+from repro.core.config import FdwConfig
+from repro.core.monitor import DagmanStats
+from repro.core.workflow import build_fdw_dag
+from repro.errors import SimulationError
+from repro.osg.capacity import FixedCapacity, MarkovModulatedCapacity
+from repro.osg.pool import OSPoolConfig, OSPoolSimulator
+from repro.osg.runtimes import RuntimeModel
+from repro.osg.transfer import TransferConfig
+
+
+def tiny_dag(n_jobs=6, phase="A", name="t"):
+    dag = DagDescription(name)
+    for i in range(n_jobs):
+        dag.add_job(
+            f"{name}_{i}",
+            JobSpec(name=f"{name}_{i}", payload=JobPayload(phase=phase, n_items=1, n_stations=2)),
+        )
+    return dag
+
+
+def quiet_pool(seed=0, slots=4, **cfg_kwargs):
+    config = OSPoolConfig(
+        transfer=TransferConfig(setup_overhead_s=1.0, include_image=False),
+        success_prob=1.0,
+        **cfg_kwargs,
+    )
+    return OSPoolSimulator(config=config, capacity=FixedCapacity(slots), seed=seed)
+
+
+def test_single_dag_completes():
+    pool = quiet_pool()
+    pool.submit_dagman(tiny_dag())
+    metrics = pool.run()
+    assert len(metrics.records) == 6
+    assert all(r.success for r in metrics.records)
+    assert metrics.dagmans["t"].n_jobs == 6
+
+
+def test_runtime_respects_capacity():
+    # 6 identical jobs on 2 slots must take ~3 service times.
+    pool2 = quiet_pool(slots=2)
+    pool2.submit_dagman(tiny_dag())
+    t2 = pool2.run().dagmans["t"].runtime_s
+    pool6 = quiet_pool(slots=6)
+    pool6.submit_dagman(tiny_dag())
+    t6 = pool6.run().dagmans["t"].runtime_s
+    assert t2 > 1.8 * t6
+
+
+def test_dependencies_respected():
+    config = FdwConfig(n_waveforms=8, n_stations=2, mesh=(8, 5), name="dep")
+    dag = build_fdw_dag(config)
+    pool = quiet_pool(slots=8)
+    pool.submit_dagman(dag, name="dep")
+    metrics = pool.run()
+    by_node = {r.node_name: r for r in metrics.records}
+    b_start = by_node["dep_B"].start_time
+    for r in metrics.records:
+        if r.phase == "A":
+            assert r.end_time <= b_start
+        if r.phase == "C":
+            assert r.start_time >= by_node["dep_B"].end_time
+
+
+def test_deterministic_given_seed():
+    r1 = quiet_pool(seed=9)
+    r1.submit_dagman(tiny_dag())
+    m1 = r1.run()
+    r2 = quiet_pool(seed=9)
+    r2.submit_dagman(tiny_dag())
+    m2 = r2.run()
+    assert [(r.node_name, r.start_time, r.end_time) for r in m1.records] == [
+        (r.node_name, r.start_time, r.end_time) for r in m2.records
+    ]
+
+
+def test_different_seeds_differ():
+    r1 = quiet_pool(seed=1)
+    r1.submit_dagman(tiny_dag())
+    m1 = r1.run()
+    r2 = quiet_pool(seed=2)
+    r2.submit_dagman(tiny_dag())
+    m2 = r2.run()
+    assert [r.end_time for r in m1.records] != [r.end_time for r in m2.records]
+
+
+def test_user_log_consistent_with_records():
+    pool = quiet_pool(slots=3)
+    pool.submit_dagman(tiny_dag())
+    metrics = pool.run()
+    log_text = pool.dagman_runs["t"].user_log.render()
+    stats = DagmanStats.from_log_text(log_text)
+    assert stats.n_jobs == 6
+    assert stats.n_completed == 6
+    assert stats.n_failed == 0
+    # Log-derived runtime matches the recorder (1 s log resolution).
+    assert stats.runtime_s() == pytest.approx(
+        max(r.end_time for r in metrics.records)
+        - min(r.submit_time for r in metrics.records),
+        abs=2.0,
+    )
+
+
+def test_failures_retried_to_completion():
+    config = OSPoolConfig(
+        transfer=TransferConfig(setup_overhead_s=1.0, include_image=False),
+        success_prob=0.7,
+    )
+    dag = tiny_dag(12)
+    for name in list(dag.node_names):
+        node = dag.node(name)
+        from repro.condor.dagfile import DagNode
+
+        dag._nodes[name] = DagNode(name=node.name, spec=node.spec, retries=20)
+    pool = OSPoolSimulator(config=config, capacity=FixedCapacity(4), seed=5)
+    pool.submit_dagman(dag)
+    metrics = pool.run()
+    failures = [r for r in metrics.records if not r.success]
+    assert len(failures) >= 1  # with p=0.7 over 12+ attempts
+    assert pool.dagman_runs["t"].engine.is_complete
+
+
+def test_terminal_failure_marks_dead():
+    config = OSPoolConfig(
+        transfer=TransferConfig(setup_overhead_s=1.0, include_image=False),
+        success_prob=0.01,
+    )
+    pool = OSPoolSimulator(config=config, capacity=FixedCapacity(4), seed=3)
+    pool.submit_dagman(tiny_dag(4))  # retries=0
+    metrics = pool.run()
+    run = pool.dagman_runs["t"]
+    assert run.dead
+    assert run.finished
+    assert metrics.dagmans["t"].end_time > 0
+
+
+def test_preemption_on_capacity_drop():
+    capacity = MarkovModulatedCapacity(
+        levels=[8, 1], mean_dwell_s=[200.0, 200.0], jitter=0.0
+    )
+    config = OSPoolConfig(
+        transfer=TransferConfig(setup_overhead_s=1.0, include_image=False),
+        success_prob=1.0,
+        runtime=RuntimeModel(a_base_s=500.0, a_per_rupture_s=0.0, sigma_log=0.0),
+    )
+    pool = OSPoolSimulator(config=config, capacity=capacity, seed=8)
+    pool.submit_dagman(tiny_dag(10))
+    metrics = pool.run()
+    evicted = [r for r in metrics.records if r.n_evictions > 0]
+    assert evicted  # long jobs + capacity crashes to 1 => evictions
+    assert pool.dagman_runs["t"].engine.is_complete
+
+
+def test_concurrent_dagmans_share_capacity():
+    pool = quiet_pool(slots=4)
+    pool.submit_dagman(tiny_dag(8, name="x"))
+    pool.submit_dagman(tiny_dag(8, name="y"))
+    metrics = pool.run()
+    assert metrics.dagmans["x"].n_jobs == 8
+    assert metrics.dagmans["y"].n_jobs == 8
+    # Interleaved service: both finish within a similar window.
+    rx = metrics.dagmans["x"].runtime_s
+    ry = metrics.dagmans["y"].runtime_s
+    assert abs(rx - ry) < 0.5 * max(rx, ry)
+
+
+def test_max_idle_bounds_queue():
+    pool = quiet_pool(slots=1)
+    pool.submit_dagman(tiny_dag(30), options=DagmanOptions(max_idle=2))
+    pool.run()
+    # The engine never had more than 2 idle at once; indirectly checked
+    # by the queue length never exceeding 2 at negotiation time. Here we
+    # simply assert completion (the invariant is enforced inside
+    # pull_submissions, covered by condor tests).
+    assert pool.dagman_runs["t"].engine.is_complete
+
+
+def test_errors():
+    pool = quiet_pool()
+    with pytest.raises(SimulationError):
+        pool.run()  # nothing submitted
+    pool.submit_dagman(tiny_dag())
+    with pytest.raises(SimulationError):
+        pool.submit_dagman(tiny_dag())  # duplicate name
+    pool.run()
+    with pytest.raises(SimulationError):
+        pool.run()  # run twice
+
+
+def test_submit_after_run_rejected():
+    pool = quiet_pool()
+    pool.submit_dagman(tiny_dag())
+    pool.run()
+    with pytest.raises(SimulationError):
+        pool.submit_dagman(tiny_dag(name="late"))
+
+
+def test_guard_trips_on_impossible_workload():
+    config = OSPoolConfig(
+        transfer=TransferConfig(setup_overhead_s=1.0, include_image=False),
+        success_prob=1.0,
+        max_sim_time_s=10.0,  # far too short
+    )
+    pool = OSPoolSimulator(config=config, capacity=FixedCapacity(1), seed=0)
+    pool.submit_dagman(tiny_dag(5))
+    with pytest.raises(SimulationError):
+        pool.run()
+
+
+def test_run_until_partial():
+    pool = quiet_pool(slots=1)
+    pool.submit_dagman(tiny_dag(50))
+    metrics = pool.run(until=120.0)
+    # Partial result allowed with explicit until.
+    assert metrics.dagmans["t"].end_time >= metrics.dagmans["t"].submit_time
+
+
+def test_mean_capacity_tracks_process():
+    pool = quiet_pool(slots=7)
+    pool.submit_dagman(tiny_dag())
+    pool.run()
+    assert pool.mean_capacity() == pytest.approx(7.0)
+    assert pool.current_capacity == 7
+
+
+def test_stagger_delays_second_dagman():
+    pool = quiet_pool(slots=4)
+    pool.submit_dagman(tiny_dag(4, name="x"), at_time=0.0)
+    pool.submit_dagman(tiny_dag(4, name="y"), at_time=300.0)
+    metrics = pool.run()
+    assert metrics.dagmans["y"].submit_time == 300.0
+    first_y_submit = min(r.submit_time for r in metrics.for_dagman("y"))
+    assert first_y_submit >= 300.0

@@ -1,0 +1,98 @@
+"""Tests for repro.osg.runtimes."""
+
+import numpy as np
+import pytest
+
+from repro.condor.jobs import JobPayload, JobSpec
+from repro.errors import SimulationError
+from repro.osg.runtimes import RuntimeModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return RuntimeModel()
+
+
+def payload(phase, n_items=1, n_stations=121):
+    return JobPayload(phase=phase, n_items=n_items, n_stations=n_stations)
+
+
+def test_rupture_job_mean_near_2_5_minutes(model):
+    # Paper 5.2.3: rupture jobs ~2.5 min for the default 16-rupture chunk.
+    mean = model.mean_seconds(payload("A", n_items=16))
+    assert 120.0 < mean < 180.0
+
+
+def test_waveform_job_full_input_15_to_20_minutes(model):
+    mean = model.mean_seconds(payload("C", n_items=2, n_stations=121))
+    assert 15 * 60 < mean < 20 * 60
+
+
+def test_waveform_job_small_input_under_a_minute(model):
+    mean = model.mean_seconds(payload("C", n_items=2, n_stations=2))
+    assert mean < 60.0
+
+
+def test_gf_job_multi_hour_full_input(model):
+    mean = model.mean_seconds(payload("B", n_items=121, n_stations=121))
+    assert mean > 3600.0
+
+
+def test_gf_job_scales_with_stations(model):
+    small = model.mean_seconds(payload("B", n_stations=2))
+    full = model.mean_seconds(payload("B", n_stations=121))
+    assert full > 10 * small
+
+
+def test_dist_job_fixed(model):
+    assert model.mean_seconds(payload("dist")) == model.dist_base_s
+
+
+def test_sampling_reproducible(model):
+    spec = JobSpec(name="j", payload=payload("C", 2))
+    a = model.sample_seconds(spec, np.random.default_rng(3))
+    b = model.sample_seconds(spec, np.random.default_rng(3))
+    assert a == b
+
+
+def test_sampling_spread_around_mean(model):
+    spec = JobSpec(name="j", payload=payload("C", 2))
+    rng = np.random.default_rng(4)
+    samples = np.array([model.sample_seconds(spec, rng) for _ in range(800)])
+    mean = model.mean_seconds(payload("C", 2))
+    # Speed factors in (0.85, 1.30) shift the mean down slightly.
+    assert np.mean(samples) == pytest.approx(mean / np.mean([0.85, 1.30]), rel=0.15)
+    assert samples.std() > 0
+
+
+def test_sampling_floor_one_second():
+    model = RuntimeModel(c_base_s=0.0, c_per_rupture_s=0.0, c_per_station_s=0.0)
+    spec = JobSpec(name="j", payload=payload("C", 1, 1))
+    assert model.sample_seconds(spec, np.random.default_rng(0)) >= 1.0
+
+
+def test_job_without_payload_gets_generic_duration(model):
+    spec = JobSpec(name="j")
+    t = model.sample_seconds(spec, np.random.default_rng(5))
+    assert 100.0 < t < 900.0
+
+
+def test_validation():
+    with pytest.raises(SimulationError):
+        RuntimeModel(a_base_s=-1.0)
+    with pytest.raises(SimulationError):
+        RuntimeModel(sigma_log=-0.1)
+    with pytest.raises(SimulationError):
+        RuntimeModel(speed_range=(1.5, 0.5))
+
+
+def test_calibrate_from_kernels_runs_and_preserves_shape():
+    model = RuntimeModel.calibrate_from_kernels(
+        n_probe_ruptures=1, n_probe_stations=3, mesh=(8, 5)
+    )
+    # Calibration preserves the reference's noise settings and produces
+    # positive, ordered coefficients.
+    assert model.sigma_log == RuntimeModel().sigma_log
+    assert model.b_per_station_s > 0
+    assert model.c_per_station_s > 0
+    assert model.dist_base_s > 0

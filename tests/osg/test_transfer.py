@@ -1,0 +1,89 @@
+"""Tests for repro.osg.transfer."""
+
+import numpy as np
+import pytest
+
+from repro.condor.jobs import JobSpec
+from repro.errors import SimulationError
+from repro.osg.transfer import SINGULARITY_IMAGE_MB, StashCache, TransferConfig
+
+
+def spec(files=None):
+    return JobSpec(name="j", input_files=files or {})
+
+
+def one_site_cache(**kwargs):
+    defaults = dict(n_cache_sites=1, setup_overhead_s=0.0)
+    defaults.update(kwargs)
+    return StashCache(TransferConfig(**defaults))
+
+
+def test_cold_then_warm():
+    cache = one_site_cache(origin_mb_per_s=10.0, cache_mb_per_s=100.0, include_image=False)
+    rng = np.random.default_rng(0)
+    job = spec({"gf.npz": 1000.0})
+    cold = cache.transfer_time(job, rng)
+    warm = cache.transfer_time(job, rng)
+    assert cold == pytest.approx(100.0)
+    assert warm == pytest.approx(10.0)
+    assert cache.n_cold_transfers == 1
+    assert cache.n_warm_transfers == 1
+
+
+def test_image_included_by_default():
+    cache = one_site_cache()
+    rng = np.random.default_rng(0)
+    t = cache.transfer_time(spec(), rng)
+    assert t == pytest.approx(SINGULARITY_IMAGE_MB / 25.0)
+
+
+def test_setup_overhead_always_charged():
+    cache = one_site_cache(setup_overhead_s=35.0, include_image=False)
+    rng = np.random.default_rng(0)
+    assert cache.transfer_time(spec(), rng) == pytest.approx(35.0)
+
+
+def test_multiple_sites_cache_independently():
+    cache = StashCache(
+        TransferConfig(n_cache_sites=4, setup_overhead_s=0.0, include_image=False)
+    )
+    rng = np.random.default_rng(1)
+    job = spec({"big.npz": 500.0})
+    for _ in range(40):
+        cache.transfer_time(job, rng)
+    # Every site eventually warmed exactly once.
+    assert cache.n_cold_transfers == 4
+    assert cache.n_warm_transfers == 36
+    for site in range(4):
+        assert cache.is_warm("big.npz", site)
+
+
+def test_reset_clears_state():
+    cache = one_site_cache(include_image=False)
+    rng = np.random.default_rng(2)
+    cache.transfer_time(spec({"f": 10.0}), rng)
+    cache.reset()
+    assert cache.n_cold_transfers == 0
+    assert not cache.is_warm("f", 0)
+
+
+def test_negative_file_size_rejected():
+    cache = one_site_cache(include_image=False)
+    bad = JobSpec(name="j", input_files={"f": 1.0})
+    bad.input_files["f"] = -5.0  # bypass JobSpec validation deliberately
+    with pytest.raises(SimulationError):
+        cache.transfer_time(bad, np.random.default_rng(0))
+
+
+def test_config_validation():
+    with pytest.raises(SimulationError):
+        TransferConfig(origin_mb_per_s=0.0)
+    with pytest.raises(SimulationError):
+        TransferConfig(n_cache_sites=0)
+    with pytest.raises(SimulationError):
+        TransferConfig(setup_overhead_s=-1.0)
+
+
+def test_cold_transfer_slower_than_warm():
+    cfg = TransferConfig()
+    assert cfg.origin_mb_per_s < cfg.cache_mb_per_s

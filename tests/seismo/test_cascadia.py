@@ -1,0 +1,56 @@
+"""Tests for the Cascadia region (paper future work: beyond Chile)."""
+
+import numpy as np
+import pytest
+
+from repro.seismo.distance import DistanceMatrices
+from repro.seismo.geometry import build_cascadia_slab
+from repro.seismo.greens import compute_gf_bank
+from repro.seismo.ruptures import RuptureGenerator
+from repro.seismo.stations import Station, StationNetwork
+
+
+@pytest.fixture(scope="module")
+def cascadia():
+    return build_cascadia_slab(n_strike=12, n_dip=6)
+
+
+def test_geometry_basics(cascadia):
+    assert cascadia.name == "cascadia_slab"
+    assert cascadia.n_subfaults == 72
+    # Northern hemisphere, west coast, shallow dips.
+    assert np.all(cascadia.lat > 30.0)
+    assert np.all(cascadia.lon < -120.0)
+    assert cascadia.dip_deg.max() <= 22.0 + 1e-9
+
+
+def test_longer_than_chile(cascadia):
+    from repro.seismo.geometry import build_chile_slab
+
+    chile = build_chile_slab(n_strike=12, n_dip=6)
+    assert cascadia.lat.max() - cascadia.lat.min() > (
+        chile.lat.max() - chile.lat.min()
+    )
+
+
+def test_full_pipeline_runs_on_cascadia(cascadia):
+    """The whole FakeQuakes stack is region-agnostic."""
+    distances = DistanceMatrices.from_geometry(cascadia)
+    generator = RuptureGenerator(cascadia, distances=distances)
+    rupture = generator.generate(np.random.default_rng(0), target_mw=8.8)
+    assert rupture.actual_mw == pytest.approx(8.8, abs=1e-9)
+
+    network = StationNetwork(
+        [
+            Station("P395", -123.8, 44.6),
+            Station("P396", -123.5, 46.1),
+            Station("P397", -124.1, 47.4),
+        ],
+        name="pnw",
+    )
+    bank = compute_gf_bank(cascadia, network)
+    from repro.seismo.waveforms import WaveformSynthesizer
+
+    ws = WaveformSynthesizer(bank).synthesize(rupture)
+    assert ws.n_stations == 3
+    assert float(ws.pgd_m().max()) > 0.0

@@ -1,0 +1,116 @@
+"""Tests for repro.seismo.catalog — G-R sampling and b-value estimation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RuptureError
+from repro.seismo.catalog import (
+    estimate_b_value,
+    magnitude_histogram,
+    sample_gutenberg_richter,
+)
+
+
+def test_samples_within_bounds():
+    rng = np.random.default_rng(0)
+    mags = sample_gutenberg_richter(5000, rng, mw_min=7.5, mw_max=9.2)
+    assert mags.shape == (5000,)
+    assert mags.min() >= 7.5
+    assert mags.max() <= 9.2
+
+
+def test_small_events_dominate():
+    rng = np.random.default_rng(1)
+    mags = sample_gutenberg_richter(20000, rng, mw_min=7.5, mw_max=9.2, b_value=1.0)
+    low = np.sum(mags < 8.0)
+    high = np.sum(mags >= 8.7)
+    assert low > 4 * high  # exponential falloff
+
+
+def test_b_value_recovered():
+    rng = np.random.default_rng(2)
+    for b_true in (0.8, 1.0, 1.3):
+        # A wide range keeps the untruncated Aki estimator nearly unbiased.
+        mags = sample_gutenberg_richter(
+            60000, rng, mw_min=5.0, mw_max=10.0, b_value=b_true
+        )
+        b_est = estimate_b_value(mags, mw_min=5.0)
+        assert b_est == pytest.approx(b_true, rel=0.08)
+
+
+def test_uniform_catalog_has_low_apparent_b():
+    rng = np.random.default_rng(3)
+    uniform = rng.uniform(7.5, 9.2, 5000)
+    gr = sample_gutenberg_richter(5000, rng, 7.5, 9.2, b_value=1.0)
+    assert estimate_b_value(gr, 7.5) > estimate_b_value(uniform, 7.5)
+
+
+def test_sampling_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(RuptureError):
+        sample_gutenberg_richter(-1, rng)
+    with pytest.raises(RuptureError):
+        sample_gutenberg_richter(10, rng, mw_min=9.0, mw_max=8.0)
+    with pytest.raises(RuptureError):
+        sample_gutenberg_richter(10, rng, b_value=0.0)
+
+
+def test_b_value_validation():
+    with pytest.raises(RuptureError):
+        estimate_b_value(np.array([8.0]))
+    with pytest.raises(RuptureError):
+        estimate_b_value(np.array([8.0, 8.0]))
+
+
+def test_histogram_covers_catalog():
+    mags = np.array([7.6, 7.7, 8.0, 8.01, 9.1])
+    edges, counts = magnitude_histogram(mags, bin_width=0.2)
+    assert counts.sum() == mags.size
+    assert edges[0] <= mags.min()
+
+
+def test_histogram_validation():
+    with pytest.raises(RuptureError):
+        magnitude_histogram(np.array([]), 0.2)
+    with pytest.raises(RuptureError):
+        magnitude_histogram(np.array([8.0]), 0.0)
+
+
+@given(
+    st.integers(min_value=2, max_value=500),
+    st.floats(min_value=0.5, max_value=2.0),
+    st.integers(min_value=0, max_value=10**6),
+)
+@settings(max_examples=30, deadline=None)
+def test_sampling_bounds_property(count, b_value, seed):
+    rng = np.random.default_rng(seed)
+    mags = sample_gutenberg_richter(count, rng, 7.5, 9.2, b_value)
+    assert np.all((mags >= 7.5) & (mags <= 9.2))
+
+
+class TestGeneratorIntegration:
+    def test_gr_generator_biases_small(self, small_geometry, small_distances):
+        from repro.seismo.ruptures import RuptureGenerator
+
+        gen = RuptureGenerator(
+            small_geometry,
+            distances=small_distances,
+            magnitude_law="gutenberg_richter",
+        )
+        rng = np.random.default_rng(5)
+        mags = [gen.generate(rng, f"g.{i}").target_mw for i in range(40)]
+        assert np.median(mags) < (7.5 + 9.2) / 2.0  # skewed low
+
+    def test_bad_law_rejected(self, small_geometry, small_distances):
+        from repro.seismo.ruptures import RuptureGenerator
+
+        with pytest.raises(RuptureError):
+            RuptureGenerator(
+                small_geometry, distances=small_distances, magnitude_law="poisson"
+            )
+        with pytest.raises(RuptureError):
+            RuptureGenerator(
+                small_geometry, distances=small_distances, b_value=-1.0
+            )

@@ -1,0 +1,106 @@
+"""Tests for repro.seismo.distance."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.seismo.distance import DistanceMatrices
+
+
+def test_shapes(small_distances, small_geometry):
+    n = small_geometry.n_subfaults
+    assert small_distances.along_strike.shape == (n, n)
+    assert small_distances.down_dip.shape == (n, n)
+    assert small_distances.n_subfaults == n
+
+
+def test_zero_diagonal(small_distances):
+    assert np.all(np.diag(small_distances.along_strike) == 0)
+    assert np.all(np.diag(small_distances.down_dip) == 0)
+
+
+def test_symmetric(small_distances):
+    np.testing.assert_allclose(
+        small_distances.along_strike, small_distances.along_strike.T
+    )
+    np.testing.assert_allclose(small_distances.down_dip, small_distances.down_dip.T)
+
+
+def test_same_strike_column_zero_strike_separation(small_geometry, small_distances):
+    g = small_geometry
+    # Subfaults 0 and 1 share a strike row (adjacent down-dip).
+    assert small_distances.along_strike[0, 1] == pytest.approx(0.0)
+    assert small_distances.down_dip[0, 1] > 0
+
+
+def test_same_dip_row_zero_dip_separation(small_geometry, small_distances):
+    g = small_geometry
+    i, j = 0, g.n_dip  # same dip index, adjacent strike rows
+    assert small_distances.down_dip[i, j] == pytest.approx(0.0)
+    assert small_distances.along_strike[i, j] > 0
+
+
+def test_strike_separation_matches_mesh_spacing(small_geometry, small_distances):
+    g = small_geometry
+    spacing = float(g.length_km[0])
+    assert small_distances.along_strike[0, g.n_dip] == pytest.approx(spacing, rel=1e-6)
+
+
+def test_dip_separation_accumulates_width(small_geometry, small_distances):
+    g = small_geometry
+    w = float(g.width_km[0])
+    assert small_distances.down_dip[0, 2] == pytest.approx(2 * w, rel=1e-6)
+
+
+def test_total_is_hypot(small_distances):
+    total = small_distances.total()
+    expected = np.hypot(small_distances.along_strike, small_distances.down_dip)
+    np.testing.assert_allclose(total, expected)
+
+
+def test_triangle_inequality_along_strike(small_distances):
+    d = small_distances.along_strike
+    # Strike separation is a 1-D metric, so triangle inequality holds.
+    n = d.shape[0]
+    rng = np.random.default_rng(0)
+    for _ in range(50):
+        i, j, k = rng.integers(0, n, 3)
+        assert d[i, j] <= d[i, k] + d[k, j] + 1e-9
+
+
+def test_save_load_roundtrip(tmp_path, small_distances):
+    small_distances.save(tmp_path, prefix="dm")
+    assert DistanceMatrices.exists(tmp_path, prefix="dm")
+    back = DistanceMatrices.load(tmp_path, prefix="dm")
+    np.testing.assert_array_equal(back.along_strike, small_distances.along_strike)
+    np.testing.assert_array_equal(back.down_dip, small_distances.down_dip)
+
+
+def test_load_missing_raises(tmp_path):
+    assert not DistanceMatrices.exists(tmp_path)
+    with pytest.raises(GeometryError):
+        DistanceMatrices.load(tmp_path)
+
+
+def test_rejects_non_square():
+    with pytest.raises(GeometryError):
+        DistanceMatrices(np.zeros((2, 3)), np.zeros((2, 3)))
+
+
+def test_rejects_mismatched_shapes():
+    with pytest.raises(GeometryError):
+        DistanceMatrices(np.zeros((2, 2)), np.zeros((3, 3)))
+
+
+def test_rejects_negative_distances():
+    bad = np.zeros((2, 2))
+    bad[0, 1] = -1.0
+    with pytest.raises(GeometryError):
+        DistanceMatrices(bad, np.zeros((2, 2)))
+
+
+def test_rejects_nan():
+    bad = np.zeros((2, 2))
+    bad[0, 1] = np.nan
+    with pytest.raises(GeometryError):
+        DistanceMatrices(bad, np.zeros((2, 2)))

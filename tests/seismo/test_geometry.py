@@ -1,0 +1,94 @@
+"""Tests for repro.seismo.geometry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.seismo.geometry import build_chile_slab
+
+
+def test_mesh_size(small_geometry):
+    assert small_geometry.n_subfaults == 60
+    assert small_geometry.lon.shape == (60,)
+
+
+def test_depth_increases_down_dip(small_geometry):
+    g = small_geometry
+    # Within one strike column, depth grows with dip index.
+    col = g.depth_km[: g.n_dip]
+    assert np.all(np.diff(col) > 0)
+
+
+def test_depth_pattern_repeats_along_strike(small_geometry):
+    g = small_geometry
+    first = g.depth_km[: g.n_dip]
+    last = g.depth_km[-g.n_dip :]
+    np.testing.assert_allclose(first, last)
+
+
+def test_dip_steepens_down_dip(small_geometry):
+    g = small_geometry
+    col = g.dip_deg[: g.n_dip]
+    assert col[0] < col[-1]
+    assert col[0] == pytest.approx(10.0)
+    assert col[-1] == pytest.approx(30.0)
+
+
+def test_area_matches_extents():
+    g = build_chile_slab(n_strike=10, n_dip=6, along_strike_km=200.0, along_dip_km=90.0)
+    assert g.total_area_km2 == pytest.approx(200.0 * 90.0)
+
+
+def test_strike_and_dip_indices_roundtrip(small_geometry):
+    g = small_geometry
+    i = np.arange(g.n_subfaults)
+    flat = np.asarray(g.strike_index(i)) * g.n_dip + np.asarray(g.dip_index(i))
+    np.testing.assert_array_equal(flat, i)
+
+
+def test_enu_centered_near_origin(small_geometry):
+    east, north, depth = small_geometry.enu()
+    # Along-strike extent symmetric around the reference latitude.
+    assert abs(north.mean()) < 1.0
+    assert np.all(depth > 0)
+    assert np.all(east >= 0)  # slab dips east of the trench
+
+
+def test_subset_selects_rows(small_geometry):
+    sub = small_geometry.subset(np.array([0, 5]))
+    assert sub["lon"].shape == (2,)
+    assert sub["depth_km"][0] == small_geometry.depth_km[0]
+
+
+def test_subset_rejects_out_of_range(small_geometry):
+    with pytest.raises(GeometryError):
+        small_geometry.subset(np.array([10**6]))
+
+
+def test_rejects_tiny_mesh():
+    with pytest.raises(GeometryError):
+        build_chile_slab(n_strike=1, n_dip=6)
+
+
+def test_rejects_bad_dips():
+    with pytest.raises(GeometryError):
+        build_chile_slab(shallow_dip_deg=40.0, deep_dip_deg=20.0)
+
+
+def test_rejects_negative_extent():
+    with pytest.raises(GeometryError):
+        build_chile_slab(along_strike_km=-5.0)
+
+
+def test_latitudes_span_expected_band():
+    g = build_chile_slab(along_strike_km=600.0, reference_lat=-30.0)
+    # 600 km centred at -30 deg: about +/- 2.7 degrees of latitude.
+    assert g.lat.min() == pytest.approx(-32.66, abs=0.2)
+    assert g.lat.max() == pytest.approx(-27.34, abs=0.2)
+
+
+def test_trench_depth_respected():
+    g = build_chile_slab(trench_depth_km=5.0)
+    shallowest = g.depth_km.min()
+    assert shallowest > 5.0  # cell centers sit below the trench edge
+    assert shallowest < 10.0

@@ -1,0 +1,107 @@
+"""Tests for repro.seismo.mudpy_io."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ArchiveError, RuptureError
+from repro.seismo.mudpy_io import ProductArchive, read_rupt, write_rupt
+
+
+def test_rupt_roundtrip(tmp_path, sample_rupture, small_geometry):
+    path = write_rupt(sample_rupture, small_geometry, tmp_path / "r.rupt")
+    back = read_rupt(path)
+    assert back.rupture_id == sample_rupture.rupture_id
+    assert back.target_mw == pytest.approx(sample_rupture.target_mw, abs=1e-4)
+    assert back.hypocenter_index == sample_rupture.hypocenter_index
+    np.testing.assert_array_equal(back.subfault_indices, sample_rupture.subfault_indices)
+    np.testing.assert_allclose(back.slip_m, sample_rupture.slip_m, atol=1e-6)
+    np.testing.assert_allclose(back.rise_time_s, sample_rupture.rise_time_s, atol=1e-4)
+
+
+def test_rupt_missing_file(tmp_path):
+    with pytest.raises(RuptureError):
+        read_rupt(tmp_path / "missing.rupt")
+
+
+def test_rupt_bad_header(tmp_path):
+    path = tmp_path / "bad.rupt"
+    path.write_text("not a rupt file\n")
+    with pytest.raises(RuptureError):
+        read_rupt(path)
+
+
+def test_rupt_bad_column_count(tmp_path):
+    path = tmp_path / "bad.rupt"
+    path.write_text(
+        "# rupt x target_mw=8.0 actual_mw=8.0 hypo=0\n1 2 3\n"
+    )
+    with pytest.raises(RuptureError):
+        read_rupt(path)
+
+
+def test_rupt_no_rows(tmp_path):
+    path = tmp_path / "empty.rupt"
+    path.write_text("# rupt x target_mw=8.0 actual_mw=8.0 hypo=0\n")
+    with pytest.raises(RuptureError):
+        read_rupt(path)
+
+
+def _touch(tmp_path, name, content=b"data"):
+    p = tmp_path / name
+    p.write_bytes(content)
+    return p
+
+
+def test_archive_add_and_find(tmp_path):
+    archive = ProductArchive(tmp_path / "arch")
+    src = _touch(tmp_path, "w1.npz", b"x" * 100)
+    dest = archive.add_file(src, kind="waveforms", label="r0", metadata={"mw": 8.1})
+    assert dest.exists()
+    assert archive.kinds() == ["waveforms"]
+    found = archive.find(kind="waveforms", mw=8.1)
+    assert len(found) == 1
+    assert found[0]["bytes"] == 100
+
+
+def test_archive_duplicate_label_rejected(tmp_path):
+    archive = ProductArchive(tmp_path / "arch")
+    src = _touch(tmp_path, "a.txt")
+    archive.add_file(src, kind="k", label="x")
+    with pytest.raises(ArchiveError):
+        archive.add_file(src, kind="k", label="x")
+
+
+def test_archive_missing_source_rejected(tmp_path):
+    archive = ProductArchive(tmp_path / "arch")
+    with pytest.raises(ArchiveError):
+        archive.add_file(tmp_path / "nope.bin", kind="k", label="x")
+
+
+def test_archive_move_deletes_source(tmp_path):
+    archive = ProductArchive(tmp_path / "arch")
+    src = _touch(tmp_path, "m.bin")
+    archive.add_file(src, kind="k", label="moved", move=True)
+    assert not src.exists()
+
+
+def test_archive_persistence(tmp_path):
+    root = tmp_path / "arch"
+    archive = ProductArchive(root)
+    archive.add_file(_touch(tmp_path, "a.bin", b"12345"), kind="k", label="a")
+    reopened = ProductArchive(root)
+    assert reopened.total_bytes() == 5
+    assert reopened.path_of("k", "a").read_bytes() == b"12345"
+
+
+def test_archive_path_of_unknown(tmp_path):
+    archive = ProductArchive(tmp_path / "arch")
+    with pytest.raises(ArchiveError):
+        archive.path_of("k", "missing")
+
+
+def test_archive_find_by_metadata_subset(tmp_path):
+    archive = ProductArchive(tmp_path / "arch")
+    archive.add_file(_touch(tmp_path, "a.bin"), kind="wf", label="a", metadata={"mw": 8.0})
+    archive.add_file(_touch(tmp_path, "b.bin"), kind="wf", label="b", metadata={"mw": 9.0})
+    assert len(archive.find(kind="wf")) == 2
+    assert [e["label"] for e in archive.find(kind="wf", mw=9.0)] == ["b"]

@@ -1,0 +1,138 @@
+"""Tests for repro.seismo.okada — finite-fault Okada (1985) statics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GreensFunctionError
+from repro.seismo.greens import compute_gf_bank
+from repro.seismo.okada import compute_okada_gf_bank, okada85
+
+THRUST = dict(depth_km=12.0, dip_deg=30.0, length_km=20.0, width_km=10.0, dip_slip_m=1.0)
+
+
+def test_thrust_uplift_updip_subsidence_downdip():
+    # Classic megathrust pattern: uplift above the shallow (up-dip) part,
+    # subsidence over the deep (down-dip) side.
+    _, _, uz_up = okada85(10.0, 5.0, **THRUST)
+    _, _, uz_down = okada85(10.0, -5.0, **THRUST)
+    assert float(uz_up) > 0.05
+    assert float(uz_down) < 0.0
+
+
+def test_dip_slip_no_along_strike_motion_on_symmetry_axis():
+    ux, _, _ = okada85(10.0, 7.0, **THRUST)  # x=10 is the fault midpoint
+    assert abs(float(ux)) < 1e-12
+
+
+def test_strike_slip_antisymmetric_across_fault():
+    kwargs = dict(depth_km=12.0, dip_deg=89.0, length_km=20.0, width_km=10.0,
+                  strike_slip_m=1.0)
+    ux_pos, _, _ = okada85(10.0, 8.0, **kwargs)
+    ux_neg, _, _ = okada85(10.0, -8.0, **kwargs)
+    # Near-vertical fault: along-strike motion flips sign across it.
+    assert float(ux_pos) * float(ux_neg) < 0
+    assert abs(float(ux_pos) + float(ux_neg)) < 0.1 * abs(float(ux_pos))
+
+
+def test_far_field_inverse_square_decay():
+    _, _, u1 = okada85(10.0, 800.0, **THRUST)
+    _, _, u2 = okada85(10.0, 1600.0, **THRUST)
+    assert float(u1 / u2) == pytest.approx(4.0, rel=0.08)
+
+
+def test_displacement_scales_linearly_in_slip():
+    _, _, u1 = okada85(10.0, 5.0, **THRUST)
+    big = dict(THRUST, dip_slip_m=2.5)
+    _, _, u2 = okada85(10.0, 5.0, **big)
+    assert float(u2) == pytest.approx(2.5 * float(u1), rel=1e-9)
+
+
+def test_superposition_of_slip_components():
+    kwargs = dict(depth_km=12.0, dip_deg=45.0, length_km=15.0, width_km=8.0)
+    ux_s, uy_s, uz_s = okada85(5.0, 6.0, strike_slip_m=0.7, **kwargs)
+    ux_d, uy_d, uz_d = okada85(5.0, 6.0, dip_slip_m=1.3, **kwargs)
+    ux_b, uy_b, uz_b = okada85(5.0, 6.0, strike_slip_m=0.7, dip_slip_m=1.3, **kwargs)
+    assert float(ux_b) == pytest.approx(float(ux_s) + float(ux_d), abs=1e-12)
+    assert float(uz_b) == pytest.approx(float(uz_s) + float(uz_d), abs=1e-12)
+
+
+def test_vectorized_over_observation_points():
+    x = np.linspace(-20, 40, 13)
+    y = np.full_like(x, 9.0)
+    ux, uy, uz = okada85(x, y, **THRUST)
+    assert ux.shape == x.shape
+    assert np.all(np.isfinite(ux)) and np.all(np.isfinite(uz))
+
+
+def test_deeper_fault_smaller_signal():
+    shallow = dict(THRUST, depth_km=8.0)
+    deep = dict(THRUST, depth_km=40.0)
+    _, _, uz_shallow = okada85(10.0, 5.0, **shallow)
+    _, _, uz_deep = okada85(10.0, 5.0, **deep)
+    assert abs(float(uz_shallow)) > abs(float(uz_deep))
+
+
+def test_validation():
+    with pytest.raises(GreensFunctionError):
+        okada85(0.0, 0.0, depth_km=-1.0, dip_deg=30.0, length_km=10.0, width_km=5.0)
+    with pytest.raises(GreensFunctionError):
+        okada85(0.0, 0.0, depth_km=10.0, dip_deg=0.0, length_km=10.0, width_km=5.0)
+    with pytest.raises(GreensFunctionError):
+        okada85(0.0, 0.0, depth_km=10.0, dip_deg=30.0, length_km=-1.0, width_km=5.0)
+
+
+class TestOkadaBank:
+    def test_bank_shape_compatible(self, small_geometry, small_network):
+        bank = compute_okada_gf_bank(small_geometry, small_network)
+        assert bank.n_stations == len(small_network)
+        assert bank.n_subfaults == small_geometry.n_subfaults
+        assert np.all(np.isfinite(bank.statics))
+
+    def test_far_field_agrees_with_point_source(self, small_geometry):
+        """Beyond several fault lengths, the finite-fault and the
+        point-source approximations must agree in magnitude scale."""
+        from repro.seismo.stations import Station, StationNetwork
+
+        far = StationNetwork([Station("FARR", -64.0, -30.0)])  # ~800 km east
+        okada_bank = compute_okada_gf_bank(small_geometry, far)
+        point_bank = compute_gf_bank(small_geometry, far)
+        sub = small_geometry.n_subfaults // 2
+        a = np.linalg.norm(okada_bank.statics[0, sub])
+        b = np.linalg.norm(point_bank.statics[0, sub])
+        assert a == pytest.approx(b, rel=1.5)  # same order of magnitude
+        # And far-field vertical signs agree.
+        assert np.sign(okada_bank.statics[0, sub, 2]) == np.sign(
+            point_bank.statics[0, sub, 2]
+        )
+
+    def test_near_field_uplift_above_shallow_thrust(self, small_geometry):
+        from repro.seismo.stations import Station, StationNetwork
+
+        # A coastal station just east of the shallow subfaults: thrust
+        # slip below it must push it up and seaward.
+        station = StationNetwork([Station("COAST", -72.2, -30.0)])
+        bank = compute_okada_gf_bank(small_geometry, station)
+        # Pick the subfault whose center lies just DOWN-dip (east) of
+        # the station at its latitude — the station sits above that
+        # patch's up-dip side, so thrust slip lifts it. Conversely the
+        # patch up-dip (west) of the station drags it down.
+        east_s, _ = small_geometry.projection.to_enu(
+            station.lons[0], station.lats[0]
+        )
+        east_f, _, _ = small_geometry.enu()
+        lat_band = np.abs(small_geometry.lat - (-30.0)) < 0.5
+        downdip = lat_band & (east_f > float(east_s))
+        updip = lat_band & (east_f <= float(east_s))
+        j_up = int(np.flatnonzero(downdip)[np.argmin(east_f[downdip])])
+        j_down = int(np.flatnonzero(updip)[np.argmax(east_f[updip])])
+        assert bank.statics[0, j_up, 2] > 0.0
+        assert bank.statics[0, j_down, 2] < 0.0
+
+    def test_waveforms_run_on_okada_bank(self, small_geometry, small_network,
+                                          rupture_generator):
+        from repro.seismo.waveforms import WaveformSynthesizer
+
+        bank = compute_okada_gf_bank(small_geometry, small_network)
+        rupture = rupture_generator.generate(np.random.default_rng(4), target_mw=8.2)
+        ws = WaveformSynthesizer(bank).synthesize(rupture)
+        assert float(ws.pgd_m().max()) > 0.0

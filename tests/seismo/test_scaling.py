@@ -1,0 +1,92 @@
+"""Tests for repro.seismo.scaling."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import RuptureError
+from repro.seismo.scaling import (
+    SUBDUCTION_INTERFACE,
+    magnitude_from_moment,
+    moment_from_magnitude,
+)
+
+mws = st.floats(min_value=5.0, max_value=9.7)
+
+
+def test_known_moment_values():
+    # Mw 9.0 corresponds to ~3.98e22 N m.
+    assert moment_from_magnitude(9.0) == pytest.approx(3.98e22, rel=1e-2)
+
+
+def test_moment_magnitude_roundtrip():
+    for mw in (6.0, 7.5, 9.2):
+        assert magnitude_from_moment(moment_from_magnitude(mw)) == pytest.approx(mw)
+
+
+@given(mws)
+def test_roundtrip_property(mw):
+    assert float(magnitude_from_moment(moment_from_magnitude(mw))) == pytest.approx(mw)
+
+
+def test_negative_moment_rejected():
+    with pytest.raises(RuptureError):
+        magnitude_from_moment(-1.0)
+
+
+def test_median_dimensions_increase_with_magnitude():
+    law = SUBDUCTION_INTERFACE
+    assert law.median_length_km(8.0) > law.median_length_km(7.0)
+    assert law.median_width_km(8.0) > law.median_width_km(7.0)
+
+
+def test_median_length_magnitude_8_plausible():
+    # Subduction Mw 8 ruptures are ~150-250 km long.
+    length = SUBDUCTION_INTERFACE.median_length_km(8.0)
+    assert 100.0 < length < 350.0
+
+
+def test_sample_dimensions_deterministic_per_seed():
+    rng1 = np.random.default_rng(5)
+    rng2 = np.random.default_rng(5)
+    assert SUBDUCTION_INTERFACE.sample_dimensions(8.0, rng1) == (
+        SUBDUCTION_INTERFACE.sample_dimensions(8.0, rng2)
+    )
+
+
+def test_sample_dimensions_scatter_around_median():
+    rng = np.random.default_rng(0)
+    lengths = [SUBDUCTION_INTERFACE.sample_dimensions(8.0, rng)[0] for _ in range(400)]
+    median = SUBDUCTION_INTERFACE.median_length_km(8.0)
+    assert np.median(lengths) == pytest.approx(median, rel=0.1)
+
+
+def test_sample_rejects_out_of_range_magnitude():
+    rng = np.random.default_rng(0)
+    with pytest.raises(RuptureError):
+        SUBDUCTION_INTERFACE.sample_dimensions(4.0, rng)
+
+
+def test_mean_slip_closes_moment():
+    law = SUBDUCTION_INTERFACE
+    area_km2 = 200.0 * 100.0
+    mu = 30e9
+    slip = law.mean_slip_m(8.0, area_km2, mu)
+    m0 = mu * area_km2 * 1e6 * slip
+    assert float(magnitude_from_moment(m0)) == pytest.approx(8.0)
+
+
+def test_mean_slip_rejects_bad_inputs():
+    with pytest.raises(RuptureError):
+        SUBDUCTION_INTERFACE.mean_slip_m(8.0, 0.0, 30e9)
+    with pytest.raises(RuptureError):
+        SUBDUCTION_INTERFACE.mean_slip_m(8.0, 100.0, -1.0)
+
+
+@given(mws)
+def test_length_exceeds_width_at_large_magnitude(mw):
+    # Subduction scaling: length grows faster than width.
+    law = SUBDUCTION_INTERFACE
+    if mw >= 7.0:
+        assert law.median_length_km(mw) > law.median_width_km(mw)

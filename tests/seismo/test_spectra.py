@@ -1,0 +1,147 @@
+"""Tests for repro.seismo.spectra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RuptureError
+from repro.seismo.spectra import KarhunenLoeveBasis, von_karman_correlation
+
+
+def _grid_distances(n=6, spacing=10.0):
+    x = np.arange(n) * spacing
+    d = np.abs(x[:, None] - x[None, :])
+    return d, np.zeros_like(d)
+
+
+def test_unit_diagonal():
+    ds, dd = _grid_distances()
+    c = von_karman_correlation(ds, dd, 30.0, 20.0)
+    np.testing.assert_allclose(np.diag(c), 1.0)
+
+
+def test_correlation_decays_with_distance():
+    ds, dd = _grid_distances()
+    c = von_karman_correlation(ds, dd, 30.0, 20.0)
+    row = c[0]
+    assert np.all(np.diff(row) < 0)
+
+
+def test_correlation_in_unit_interval():
+    ds, dd = _grid_distances(10, 25.0)
+    c = von_karman_correlation(ds, dd, 30.0, 20.0)
+    assert np.all(c <= 1.0 + 1e-12)
+    assert np.all(c > 0.0)
+
+
+def test_longer_correlation_length_higher_correlation():
+    ds, dd = _grid_distances()
+    short = von_karman_correlation(ds, dd, 10.0, 10.0)
+    long = von_karman_correlation(ds, dd, 100.0, 100.0)
+    assert long[0, -1] > short[0, -1]
+
+
+def test_symmetric():
+    ds, dd = _grid_distances(8)
+    c = von_karman_correlation(ds, dd, 25.0, 15.0)
+    np.testing.assert_allclose(c, c.T)
+
+
+def test_rejects_bad_parameters():
+    ds, dd = _grid_distances()
+    with pytest.raises(RuptureError):
+        von_karman_correlation(ds, dd, -1.0, 20.0)
+    with pytest.raises(RuptureError):
+        von_karman_correlation(ds, dd, 30.0, 20.0, hurst=1.5)
+
+
+@given(st.floats(min_value=0.05, max_value=0.95))
+@settings(max_examples=20, deadline=None)
+def test_hurst_sweep_keeps_valid_correlation(hurst):
+    ds, dd = _grid_distances(5)
+    c = von_karman_correlation(ds, dd, 30.0, 20.0, hurst=hurst)
+    assert np.all(np.isfinite(c))
+    assert np.all(np.diag(c) == 1.0)
+    assert np.all(c > 0)
+
+
+def test_kl_eigenvalues_descending_nonnegative(small_distances):
+    basis = KarhunenLoeveBasis.from_distances(small_distances, 50.0, 30.0, n_modes=10)
+    vals = basis.eigenvalues
+    assert vals.shape == (10,)
+    assert np.all(vals >= 0)
+    assert np.all(np.diff(vals) <= 1e-12)
+
+
+def test_kl_full_decomposition_reconstructs(small_distances):
+    c = von_karman_correlation(
+        small_distances.along_strike, small_distances.down_dip, 50.0, 30.0
+    )
+    basis = KarhunenLoeveBasis.from_correlation(c)
+    recon = (basis.eigenvectors * basis.eigenvalues) @ basis.eigenvectors.T
+    np.testing.assert_allclose(recon, c, atol=1e-8)
+
+
+def test_kl_truncation_keeps_dominant_energy(small_distances):
+    c = von_karman_correlation(
+        small_distances.along_strike, small_distances.down_dip, 80.0, 50.0
+    )
+    full = KarhunenLoeveBasis.from_correlation(c)
+    trunc = KarhunenLoeveBasis.from_correlation(c, n_modes=12)
+    energy = trunc.eigenvalues.sum() / full.eigenvalues.sum()
+    assert energy > 0.6  # long correlation -> energy concentrates
+    # And far more than a proportional share of modes (12/60 = 20%).
+    assert energy > 2.5 * 12 / full.n_modes
+
+
+def test_kl_sample_statistics(small_distances):
+    basis = KarhunenLoeveBasis.from_distances(small_distances, 50.0, 30.0)
+    rng = np.random.default_rng(1)
+    fields = np.array([basis.sample(rng) for _ in range(300)])
+    # Zero mean, variance near the diagonal of C (== 1).
+    assert abs(fields.mean()) < 0.05
+    assert np.mean(fields.var(axis=0)) == pytest.approx(1.0, rel=0.2)
+
+
+def test_kl_sample_spatially_correlated(small_distances, small_geometry):
+    basis = KarhunenLoeveBasis.from_distances(small_distances, 120.0, 60.0)
+    rng = np.random.default_rng(2)
+    fields = np.array([basis.sample(rng) for _ in range(400)])
+    # Adjacent subfaults (0 and 1) should correlate far more than
+    # distant ones (0 and last).
+    near = np.corrcoef(fields[:, 0], fields[:, 1])[0, 1]
+    far = np.corrcoef(fields[:, 0], fields[:, -1])[0, 1]
+    assert near > 0.7
+    assert near > far
+
+
+def test_kl_restricted_basis(small_distances):
+    basis = KarhunenLoeveBasis.from_distances(small_distances, 50.0, 30.0, n_modes=8)
+    sub = basis.restricted(np.array([0, 3, 7]))
+    assert sub.n_points == 3
+    assert sub.n_modes == 8
+    rng = np.random.default_rng(3)
+    assert sub.sample(rng).shape == (3,)
+
+
+def test_kl_restricted_empty_raises(small_distances):
+    basis = KarhunenLoeveBasis.from_distances(small_distances, 50.0, 30.0, n_modes=4)
+    with pytest.raises(RuptureError):
+        basis.restricted(np.array([], dtype=int))
+
+
+def test_kl_sample_sigma_zero_is_zero(small_distances):
+    basis = KarhunenLoeveBasis.from_distances(small_distances, 50.0, 30.0, n_modes=4)
+    field = basis.sample(np.random.default_rng(0), sigma=0.0)
+    np.testing.assert_allclose(field, 0.0)
+
+
+def test_kl_bad_modes_rejected(small_distances):
+    c = von_karman_correlation(
+        small_distances.along_strike, small_distances.down_dip, 50.0, 30.0
+    )
+    with pytest.raises(RuptureError):
+        KarhunenLoeveBasis.from_correlation(c, n_modes=0)
+    with pytest.raises(RuptureError):
+        KarhunenLoeveBasis.from_correlation(c, n_modes=c.shape[0] + 1)

@@ -1,0 +1,120 @@
+"""Tests for repro.seismo.spectral — frequency-domain validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WaveformError
+from repro.seismo.spectral import (
+    compare_waveform_sets,
+    displacement_spectrum,
+    spectral_falloff,
+)
+from repro.seismo.waveforms import WaveformSet, WaveformSynthesizer
+
+
+@pytest.fixture(scope="module")
+def clean_set(small_gf_bank, sample_rupture):
+    return WaveformSynthesizer(small_gf_bank).synthesize(sample_rupture)
+
+
+def make_ws(data, dt=1.0):
+    names = tuple(f"S{i:03d}" for i in range(data.shape[0]))
+    return WaveformSet(rupture_id="t", data=data, dt_s=dt, station_names=names)
+
+
+def test_spectrum_of_pure_sine():
+    nt = 256
+    t = np.arange(nt)
+    data = np.zeros((1, 3, nt))
+    data[0, 2] = np.sin(2 * np.pi * 0.1 * t)  # 0.1 Hz
+    freqs, amp = displacement_spectrum(make_ws(data), "S000", detrend=False)
+    peak = freqs[np.argmax(amp)]
+    assert peak == pytest.approx(0.1, abs=1.0 / nt)
+
+
+def test_spectrum_shapes(clean_set):
+    freqs, amp = displacement_spectrum(clean_set, clean_set.station_names[0])
+    assert freqs.shape == amp.shape
+    assert freqs[0] > 0  # DC excluded
+    assert np.all(amp >= 0)
+
+
+def test_spectrum_component_validation(clean_set):
+    with pytest.raises(WaveformError):
+        displacement_spectrum(clean_set, clean_set.station_names[0], component=5)
+
+
+def test_synthetics_are_low_frequency_dominated(clean_set):
+    """Finite rise times make displacement spectra fall off at high
+    frequency — the physical sanity check."""
+    # Use the station with the strongest signal (nearest the rupture).
+    best = clean_set.station_names[int(np.argmax(clean_set.pgd_m()))]
+    ratio = spectral_falloff(clean_set, best)
+    assert ratio < 0.5
+
+
+def test_white_noise_falloff_near_one():
+    rng = np.random.default_rng(0)
+    data = rng.normal(0, 1.0, (1, 3, 512))
+    ratio = spectral_falloff(make_ws(data), "S000")
+    assert 0.5 < ratio < 2.0
+
+
+def test_falloff_split_validation(clean_set):
+    with pytest.raises(WaveformError):
+        spectral_falloff(clean_set, clean_set.station_names[0], split_hz=100.0)
+
+
+def test_falloff_degenerate_record():
+    data = np.zeros((1, 3, 64))
+    with pytest.raises(WaveformError):
+        spectral_falloff(make_ws(data), "S000")
+
+
+class TestComparison:
+    def test_identical_sets_zero_misfit(self, clean_set):
+        cmp = compare_waveform_sets(clean_set, clean_set)
+        np.testing.assert_allclose(cmp.time_rms_m, 0.0, atol=1e-15)
+        np.testing.assert_allclose(cmp.spectral_log_misfit, 0.0, atol=1e-12)
+        assert cmp.mean_time_rms_m == pytest.approx(0.0, abs=1e-15)
+
+    def test_point_vs_okada_close_in_far_field(
+        self, small_geometry, small_network, sample_rupture
+    ):
+        """The G&M-style study: two GF methods produce similar waveforms
+        (the network is 100+ km from the fault, where the point-source
+        approximation is decent)."""
+        from repro.seismo.greens import compute_gf_bank
+        from repro.seismo.okada import compute_okada_gf_bank
+
+        point = WaveformSynthesizer(
+            compute_gf_bank(small_geometry, small_network), duration_s=256.0
+        ).synthesize(sample_rupture)
+        okada = WaveformSynthesizer(
+            compute_okada_gf_bank(small_geometry, small_network), duration_s=256.0
+        ).synthesize(sample_rupture)
+        cmp = compare_waveform_sets(point, okada)
+        # Same order of magnitude: misfit below one decade everywhere.
+        assert cmp.mean_spectral_misfit < 1.0
+        # Time-domain misfit bounded by the larger set's own scale.
+        scale = max(point.pgd_m().max(), okada.pgd_m().max())
+        assert cmp.mean_time_rms_m < scale
+
+    def test_mismatched_stations_rejected(self, clean_set):
+        other = make_ws(np.zeros((2, 3, 10)))
+        with pytest.raises(WaveformError):
+            compare_waveform_sets(clean_set, other)
+
+    def test_mismatched_dt_rejected(self):
+        a = make_ws(np.ones((1, 3, 16)) * 0.1, dt=1.0)
+        b = make_ws(np.ones((1, 3, 16)) * 0.1, dt=2.0)
+        with pytest.raises(WaveformError):
+            compare_waveform_sets(a, b)
+
+    def test_different_lengths_truncated(self):
+        rng = np.random.default_rng(1)
+        a = make_ws(rng.normal(0, 1, (1, 3, 64)))
+        b = make_ws(rng.normal(0, 1, (1, 3, 48)))
+        cmp = compare_waveform_sets(a, b)
+        assert cmp.time_rms_m.shape == (1,)
+        assert cmp.time_rms_m[0] > 0

@@ -1,0 +1,108 @@
+"""Tests for repro.seismo.stations."""
+
+import pytest
+
+from repro.errors import StationError
+from repro.seismo.stations import Station, StationNetwork, chilean_network
+
+
+def test_full_network_size():
+    net = chilean_network(121)
+    assert len(net) == 121
+
+
+def test_network_deterministic():
+    a = chilean_network(10)
+    b = chilean_network(10)
+    assert a.names == b.names
+    assert list(a.lons) == list(b.lons)
+
+
+def test_seed_changes_placement():
+    a = chilean_network(10, seed=1)
+    b = chilean_network(10, seed=2)
+    assert list(a.lons) != list(b.lons)
+
+
+def test_stations_east_of_coast():
+    net = chilean_network(50, coast_lon=-71.3)
+    assert all(s.lon >= -71.3 for s in net)
+
+
+def test_lookup_by_name_and_index():
+    net = chilean_network(5)
+    assert net[0] is net[net.names[0]]
+    assert net.names[0] in net
+
+
+def test_unknown_name_raises():
+    net = chilean_network(3)
+    with pytest.raises(StationError):
+        net["NOPE"]
+
+
+def test_duplicate_names_rejected():
+    s = Station("AAAA", -71.0, -30.0)
+    with pytest.raises(StationError):
+        StationNetwork([s, Station("AAAA", -70.0, -31.0)])
+
+
+def test_empty_network_rejected():
+    with pytest.raises(StationError):
+        StationNetwork([])
+
+
+def test_station_validation():
+    with pytest.raises(StationError):
+        Station("", -71.0, -30.0)
+    with pytest.raises(StationError):
+        Station("OK", -71.0, 123.0)
+    with pytest.raises(StationError):
+        Station("OK", -71.0, -30.0, sample_rate_hz=0.0)
+
+
+def test_subset_preserves_order():
+    net = chilean_network(10)
+    sub = net.subset(2)
+    assert len(sub) == 2
+    assert sub.names == net.names[:2]
+
+
+def test_subset_bounds():
+    net = chilean_network(4)
+    with pytest.raises(StationError):
+        net.subset(0)
+    with pytest.raises(StationError):
+        net.subset(5)
+
+
+def test_distances_to_point():
+    net = chilean_network(6)
+    d = net.distances_to_km(float(net.lons[0]), float(net.lats[0]))
+    assert d[0] == pytest.approx(0.0, abs=1e-9)
+    assert d.shape == (6,)
+    assert (d[1:] > 0).all()
+
+
+def test_station_file_roundtrip(tmp_path):
+    net = chilean_network(7)
+    path = net.write_station_file(tmp_path / "chile.gflist")
+    back = StationNetwork.read_station_file(path)
+    assert back.names == net.names
+    for a, b in zip(net, back):
+        assert b.lon == pytest.approx(a.lon, abs=1e-5)
+        assert b.lat == pytest.approx(a.lat, abs=1e-5)
+
+
+def test_station_file_rejects_bad_row(tmp_path):
+    path = tmp_path / "bad.gflist"
+    path.write_text("AAAA -71.0\n")
+    with pytest.raises(StationError):
+        StationNetwork.read_station_file(path)
+
+
+def test_station_file_rejects_empty(tmp_path):
+    path = tmp_path / "empty.gflist"
+    path.write_text("# nothing here\n")
+    with pytest.raises(StationError):
+        StationNetwork.read_station_file(path)

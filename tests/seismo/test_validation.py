@@ -1,0 +1,104 @@
+"""Tests for repro.seismo.validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WaveformError
+from repro.seismo.fakequakes import FakeQuakes, FakeQuakesParameters
+from repro.seismo.validation import (
+    moment_closure_error,
+    pgd_regression,
+    static_consistency,
+    validate_waveform_set,
+)
+from repro.seismo.waveforms import WaveformSynthesizer
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    params = FakeQuakesParameters(n_ruptures=8, n_stations=8, mesh=(10, 6), seed=5)
+    fq = FakeQuakes.from_parameters(params)
+    sets = fq.run_sequential()
+    return fq, fq.phase_a_ruptures(), sets
+
+
+def test_moment_closure_zero(catalog):
+    fq, ruptures, _ = catalog
+    for r in ruptures:
+        assert moment_closure_error(r, fq.geometry) < 1e-9
+
+
+def test_static_consistency_clean(catalog):
+    _, _, sets = catalog
+    for ws in sets:
+        assert static_consistency(ws) < 1e-6
+
+
+def test_static_consistency_flags_drift(catalog):
+    _, _, sets = catalog
+    ws = sets[0]
+    drifting = ws.data.copy()
+    drifting[:, :, -1] += 10.0 * max(1e-3, np.abs(drifting).max())
+    from repro.seismo.waveforms import WaveformSet
+
+    bad = WaveformSet(
+        rupture_id=ws.rupture_id,
+        data=drifting,
+        dt_s=ws.dt_s,
+        station_names=ws.station_names,
+    )
+    assert static_consistency(bad) > 0.5
+
+
+def test_static_consistency_validates_fraction(catalog):
+    _, _, sets = catalog
+    with pytest.raises(WaveformError):
+        static_consistency(sets[0], tail_fraction=0.9)
+
+
+def test_pgd_regression_physical_signs(catalog):
+    fq, ruptures, sets = catalog
+    fit = pgd_regression(sets, ruptures, fq.geometry, fq.network)
+    assert fit.b > 0  # PGD grows with magnitude
+    assert fit.c < 0  # PGD decays with distance
+    assert fit.n_points > 10
+
+
+def test_pgd_regression_rejects_mismatched_lists(catalog):
+    fq, ruptures, sets = catalog
+    with pytest.raises(WaveformError):
+        pgd_regression(sets[:2], ruptures[:3], fq.geometry, fq.network)
+
+
+def test_pgd_regression_rejects_empty(catalog):
+    fq, _, _ = catalog
+    with pytest.raises(WaveformError):
+        pgd_regression([], [], fq.geometry, fq.network)
+
+
+def test_validate_waveform_set_passes(catalog):
+    fq, ruptures, sets = catalog
+    report = validate_waveform_set(sets[0], ruptures[0], fq.geometry)
+    assert report["passed"]
+    assert report["moment_error"] < 1e-9
+    assert report["max_pgd_m"] > 0
+
+
+def test_validate_report_fails_on_moment_mismatch(catalog):
+    import dataclasses
+
+    fq, ruptures, sets = catalog
+    bad = dataclasses.replace(ruptures[0], actual_mw=ruptures[0].target_mw + 0.5)
+    report = validate_waveform_set(sets[0], bad, fq.geometry)
+    assert not report["passed"]
+
+
+def test_larger_event_larger_pgd(small_gf_bank, rupture_generator):
+    rng_small = np.random.default_rng(3)
+    rng_large = np.random.default_rng(3)
+    small_event = rupture_generator.generate(rng_small, target_mw=7.5)
+    large_event = rupture_generator.generate(rng_large, target_mw=9.0)
+    synth = WaveformSynthesizer(small_gf_bank)
+    pgd_small = synth.synthesize(small_event).pgd_m().max()
+    pgd_large = synth.synthesize(large_event).pgd_m().max()
+    assert pgd_large > pgd_small

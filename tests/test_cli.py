@@ -1,0 +1,95 @@
+"""Tests for repro.cli."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def config_path(tmp_path):
+    """A tiny configuration created through the CLI itself."""
+    path = tmp_path / "demo.cfg"
+    assert main(["init", str(path), "--waveforms", "16", "--stations", "3"]) == 0
+    # Shrink the mesh for test speed.
+    text = path.read_text().replace("mesh = 30x15", "mesh = 8x5")
+    path.write_text(text)
+    return path
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_init_writes_readable_config(tmp_path):
+    from repro.core.config import FdwConfig
+
+    path = tmp_path / "x.cfg"
+    assert main(["init", str(path), "--waveforms", "99"]) == 0
+    config = FdwConfig.read(path)
+    assert config.n_waveforms == 99
+    assert config.name == "x"
+
+
+def test_run_osg(config_path, capsys):
+    assert main(["run", str(config_path), "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "jobs/min" in out
+    assert "completed" in out
+
+
+def test_run_partitioned(config_path, capsys):
+    assert main(["run", str(config_path), "--dagmans", "2", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "batch makespan" in out
+    assert out.count("=== DAGMan") == 2
+
+
+def test_run_local(config_path, capsys):
+    assert main(["run", str(config_path), "--local"]) == 0
+    out = capsys.readouterr().out
+    assert "local run: 16 waveform sets" in out
+    assert "phase C" in out
+
+
+def test_trace_and_burst(config_path, tmp_path, capsys):
+    out_dir = tmp_path / "traces"
+    assert main(["trace", str(config_path), "-o", str(out_dir), "--seed", "2"]) == 0
+    batch_csv = out_dir / "demo_batch.csv"
+    jobs_csv = out_dir / "demo_jobs.csv"
+    assert batch_csv.exists() and jobs_csv.exists()
+
+    omega_csv = tmp_path / "omega.csv"
+    assert (
+        main(
+            [
+                "burst",
+                str(batch_csv),
+                str(jobs_csv),
+                "--probe",
+                "5",
+                "--threshold",
+                "1.0",
+                "--csv",
+                str(omega_csv),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "VDC bursting simulation" in out
+    assert omega_csv.exists()
+
+
+def test_dagfile(config_path, tmp_path, capsys):
+    out_dir = tmp_path / "dag"
+    assert main(["dagfile", str(config_path), "-o", str(out_dir)]) == 0
+    assert (out_dir / "demo.dag").exists()
+    subs = list(out_dir.glob("*.sub"))
+    assert len(subs) >= 3  # A jobs + B + C jobs
+
+
+def test_error_paths_exit_nonzero(tmp_path, capsys):
+    assert main(["run", str(tmp_path / "missing.cfg")]) == 1
+    assert "error:" in capsys.readouterr().err
+    assert main(["burst", str(tmp_path / "a.csv"), str(tmp_path / "b.csv")]) == 1

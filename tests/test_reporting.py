@@ -1,0 +1,83 @@
+"""Tests for repro.reporting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.reporting import render_table, series_summary_row, sparkline
+
+
+class TestSparkline:
+    def test_empty_series(self):
+        assert sparkline([]) == ""
+
+    def test_constant_zero_blank(self):
+        assert sparkline([0.0, 0.0, 0.0]) == "   "
+
+    def test_peak_is_darkest(self):
+        line = sparkline([0.0, 1.0, 10.0, 1.0], width=4)
+        assert line[2] == "@"
+        assert line[0] == " "
+
+    def test_width_respected(self):
+        assert len(sparkline(np.arange(1000.0), width=32)) == 32
+
+    def test_short_series_not_padded(self):
+        assert len(sparkline([1.0, 2.0], width=48)) == 2
+
+    def test_nan_tolerated(self):
+        line = sparkline([np.nan, 1.0, np.inf])
+        assert len(line) == 3
+
+    def test_bad_width(self):
+        with pytest.raises(ReproError):
+            sparkline([1.0], width=0)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_always_valid_characters(self, values):
+        line = sparkline(values)
+        assert set(line) <= set(" .:-=+*#%@")
+        assert 1 <= len(line) <= 48
+
+
+class TestRenderTable:
+    def test_alignment_and_precision(self):
+        out = render_table(["name", "value"], [["x", 1.23456], ["longer", 2.0]],
+                           precision=3)
+        lines = out.splitlines()
+        assert lines[0].endswith("value")
+        assert "1.235" in out
+        assert "2.000" in out
+        # All lines equal width.
+        assert len({len(l) for l in lines}) == 1
+
+    def test_empty_rows(self):
+        out = render_table(["a", "b"], [])
+        assert "a" in out and "-" in out
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ReproError):
+            render_table(["a", "b"], [["only one"]])
+
+    def test_bad_precision(self):
+        with pytest.raises(ReproError):
+            render_table(["a"], [], precision=-1)
+
+    def test_non_numeric_cells(self):
+        out = render_table(["k", "v"], [["flag", True], ["n", 7]])
+        assert "True" in out and "7" in out
+
+
+class TestSummaryRow:
+    def test_contents(self):
+        row = series_summary_row("waits", [1.0, 2.0, 3.0])
+        assert row.startswith("waits:")
+        assert "mean=2.00" in row
+        assert "n=3" in row
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            series_summary_row("x", [])

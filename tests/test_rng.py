@@ -1,0 +1,72 @@
+"""Tests for repro.rng."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rng import RngFactory, derive_seed
+
+
+def test_same_key_same_seed():
+    assert derive_seed(7, "a", 1) == derive_seed(7, "a", 1)
+
+
+def test_different_root_different_seed():
+    assert derive_seed(7, "a") != derive_seed(8, "a")
+
+
+def test_different_keys_different_seed():
+    assert derive_seed(7, "a") != derive_seed(7, "b")
+
+
+def test_key_path_not_concat_ambiguous():
+    # ("ab", "c") must differ from ("a", "bc").
+    assert derive_seed(0, "ab", "c") != derive_seed(0, "a", "bc")
+
+
+def test_generator_reproducible():
+    a = RngFactory(3).generator("x").random(5)
+    b = RngFactory(3).generator("x").random(5)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_generators_independent_streams():
+    f = RngFactory(3)
+    a = f.generator("x").random(100)
+    b = f.generator("y").random(100)
+    assert not np.allclose(a, b)
+
+
+def test_spawn_matches_child_seed():
+    f = RngFactory(9)
+    child = f.spawn("sub")
+    assert child.seed == f.child_seed("sub")
+    # Keys under the spawned factory match a full path from the root.
+    np.testing.assert_array_equal(
+        child.generator("k").random(3),
+        RngFactory(f.child_seed("sub")).generator("k").random(3),
+    )
+
+
+def test_generators_list():
+    gens = RngFactory(1).generators("worker", 4)
+    assert len(gens) == 4
+    draws = [g.random() for g in gens]
+    assert len(set(draws)) == 4
+
+
+def test_generators_negative_count_rejected():
+    with pytest.raises(ValueError):
+        RngFactory(1).generators("w", -1)
+
+
+def test_independent_from_explicit_seeds():
+    gens = RngFactory.independent([5, 5])
+    assert gens[0].random() == gens[1].random()
+
+
+@given(st.integers(min_value=0, max_value=2**32), st.text(max_size=20))
+def test_derive_seed_in_64bit_range(root, key):
+    seed = derive_seed(root, key)
+    assert 0 <= seed < 2**64

@@ -1,0 +1,125 @@
+"""Property-based round-trip tests for every file format in the library.
+
+Each format (submit files, DAG files, configs, station files, rupt
+files, traces) must survive write -> read unchanged for arbitrary valid
+content — the property that makes the on-disk artifacts trustworthy
+hand-off points between workflow phases.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.condor.jobs import JobPayload, JobSpec
+from repro.condor.submit import SubmitDescription
+from repro.core.config import FdwConfig
+
+names = st.text(
+    alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz0123456789_"),
+    min_size=1,
+    max_size=12,
+)
+
+
+@st.composite
+def job_specs(draw):
+    phase = draw(st.sampled_from(["A", "B", "C", "dist"]))
+    n_files = draw(st.integers(min_value=0, max_value=3))
+    files = {
+        f"file_{i}.npy": draw(st.floats(min_value=0.0, max_value=1e4))
+        for i in range(n_files)
+    }
+    return JobSpec(
+        name=draw(names),
+        arguments=f"--phase {phase}",
+        request_cpus=draw(st.integers(min_value=1, max_value=64)),
+        request_memory_mb=draw(st.integers(min_value=1, max_value=65536)),
+        request_disk_mb=draw(st.integers(min_value=1, max_value=10**6)),
+        input_files=files,
+        payload=JobPayload(
+            phase=phase,
+            n_items=draw(st.integers(min_value=1, max_value=1000)),
+            n_stations=draw(st.integers(min_value=1, max_value=500)),
+        ),
+    )
+
+
+@given(job_specs())
+@settings(max_examples=50, deadline=None)
+def test_submit_description_roundtrip(spec):
+    sub = SubmitDescription.from_job_spec(spec)
+    back = SubmitDescription.parse(sub.render()).to_job_spec(spec.name)
+    assert back.request_cpus == spec.request_cpus
+    assert back.request_memory_mb == spec.request_memory_mb
+    assert back.payload == spec.payload
+    assert set(back.input_files) == set(spec.input_files)
+    assert back.arguments == spec.arguments
+
+
+@st.composite
+def fdw_configs(draw):
+    return FdwConfig(
+        n_waveforms=draw(st.integers(min_value=1, max_value=100000)),
+        n_stations=draw(st.integers(min_value=1, max_value=500)),
+        chunk_a=draw(st.integers(min_value=1, max_value=64)),
+        chunk_c=draw(st.integers(min_value=1, max_value=64)),
+        recycle_distances=draw(st.booleans()),
+        mesh=(
+            draw(st.integers(min_value=2, max_value=60)),
+            draw(st.integers(min_value=2, max_value=30)),
+        ),
+        mw_range=(7.5, 9.2),
+        retries=draw(st.integers(min_value=0, max_value=9)),
+        max_idle=draw(st.integers(min_value=0, max_value=5000)),
+        seed=draw(st.integers(min_value=0, max_value=2**31)),
+        name=draw(names),
+    )
+
+
+@given(fdw_configs())
+@settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_fdw_config_roundtrip(tmp_path_factory, config):
+    path = tmp_path_factory.mktemp("cfg") / "fdw.cfg"
+    config.write(path)
+    assert FdwConfig.read(path) == config
+
+
+@given(st.integers(min_value=1, max_value=40), st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_station_file_roundtrip(tmp_path_factory, n, seed):
+    from repro.seismo.stations import StationNetwork, chilean_network
+
+    net = chilean_network(n, seed=seed)
+    path = tmp_path_factory.mktemp("sta") / "net.gflist"
+    net.write_station_file(path)
+    back = StationNetwork.read_station_file(path)
+    assert back.names == net.names
+    np.testing.assert_allclose(back.lons, net.lons, atol=1e-5)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    mw=st.floats(min_value=7.5, max_value=9.2),
+)
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_rupt_roundtrip_property(tmp_path_factory, rupture_generator,
+                                 small_geometry, seed, mw):
+    from repro.seismo.mudpy_io import read_rupt, write_rupt
+
+    rupture = rupture_generator.generate(np.random.default_rng(seed), target_mw=mw)
+    path = tmp_path_factory.mktemp("rupt") / "r.rupt"
+    write_rupt(rupture, small_geometry, path)
+    back = read_rupt(path)
+    np.testing.assert_array_equal(back.subfault_indices, rupture.subfault_indices)
+    np.testing.assert_allclose(back.slip_m, rupture.slip_m, atol=1e-6)
+    assert back.target_mw == pytest.approx(rupture.target_mw, abs=1e-4)
+
+
+def test_cli_figures_subcommand(tmp_path):
+    from repro.cli import main
+
+    out = tmp_path / "figs"
+    assert main(["figures", "-o", str(out), "--scale", "0.01"]) == 0
+    csvs = list(out.glob("*.csv"))
+    assert len(csvs) >= 4

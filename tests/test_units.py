@@ -1,0 +1,69 @@
+"""Tests for repro.units."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+def test_minutes_to_seconds():
+    assert units.minutes(2.5) == 150.0
+
+
+def test_hours_to_seconds():
+    assert units.hours(1.5) == 5400.0
+
+
+def test_seconds_identity():
+    assert units.seconds(42) == 42.0
+
+
+def test_roundtrip_minutes():
+    assert units.to_minutes(units.minutes(7.25)) == pytest.approx(7.25)
+
+
+def test_roundtrip_hours():
+    assert units.to_hours(units.hours(0.31)) == pytest.approx(0.31)
+
+
+def test_jobs_per_minute_basic():
+    # 120 jobs in one hour = 2 jobs/minute.
+    assert units.jobs_per_minute(120, 3600.0) == pytest.approx(2.0)
+
+
+@pytest.mark.parametrize("bad", [0.0, -1.0])
+def test_jobs_per_minute_rejects_nonpositive_runtime(bad):
+    with pytest.raises(ValueError):
+        units.jobs_per_minute(10, bad)
+
+
+def test_format_duration_hours():
+    assert units.format_duration(3723) == "1h 02m 03s"
+
+
+def test_format_duration_minutes():
+    assert units.format_duration(125) == "2m 05s"
+
+
+def test_format_duration_seconds():
+    assert units.format_duration(9) == "9s"
+
+
+def test_format_duration_negative():
+    assert units.format_duration(-61) == "-1m 01s"
+
+
+@given(st.floats(min_value=1e-3, max_value=1e8, allow_nan=False))
+def test_unit_conversions_consistent(x):
+    assert units.to_hours(x) * 60.0 == pytest.approx(units.to_minutes(x), rel=1e-9)
+
+
+@given(
+    st.integers(min_value=0, max_value=10**6),
+    st.floats(min_value=1.0, max_value=1e7),
+)
+def test_jpm_scales_linearly_in_jobs(jobs, runtime):
+    base = units.jobs_per_minute(jobs, runtime)
+    doubled = units.jobs_per_minute(2 * jobs, runtime)
+    assert doubled == pytest.approx(2 * base, abs=1e-9)

@@ -1,0 +1,97 @@
+"""Tests for repro.vdc.portal — the Fig 7 data-flow story."""
+
+import pytest
+
+from repro.core.config import FdwConfig
+from repro.errors import PortalError
+from repro.osg.capacity import FixedCapacity
+from repro.vdc.portal import Portal
+
+
+@pytest.fixture(scope="module")
+def portal_with_run():
+    portal = Portal(capacity=FixedCapacity(16))
+    config = FdwConfig(n_waveforms=16, n_stations=4, mesh=(8, 5), name="prun")
+    run = portal.launch(config, user="alice", seed=3)
+    return portal, run
+
+
+def test_launch_completes(portal_with_run):
+    _, run = portal_with_run
+    assert run.succeeded
+    assert run.stats.n_completed == run.result.metrics.dagmans["prun"].n_jobs
+
+
+def test_products_deposited(portal_with_run):
+    portal, run = portal_with_run
+    assert len(run.product_ids) == 3
+    kinds = {portal.catalog.get(pid).kind for pid in run.product_ids}
+    assert kinds == {"waveforms", "ruptures", "gf_bank"}
+
+
+def test_products_tagged_and_annotated(portal_with_run):
+    portal, run = portal_with_run
+    rec = portal.catalog.get(run.product_ids[0])
+    assert "fdw" in rec.tags
+    assert "user:alice" in rec.tags
+    assert rec.metadata["n_stations"] == 4
+    assert rec.provenance == run.run_id
+
+
+def test_discovery(portal_with_run):
+    portal, run = portal_with_run
+    hits = portal.discover(kind="waveforms", tags={"fdw"})
+    assert any(r.product_id in run.product_ids for r in hits)
+
+
+def test_retrieval_caches(portal_with_run):
+    portal, run = portal_with_run
+    pid = run.product_ids[0]
+    home = "vdc-utah"
+    first = portal.retrieve(pid, home)
+    second = portal.retrieve(pid, home)
+    assert second < first  # cached replica at home site
+
+
+def test_status_report(portal_with_run):
+    portal, run = portal_with_run
+    report = portal.status(run.run_id)
+    assert run.run_id in report
+    assert "jobs/min" in report
+
+
+def test_runs_listing(portal_with_run):
+    portal, run = portal_with_run
+    assert run.run_id in portal.runs()
+
+
+def test_unknown_run(portal_with_run):
+    portal, _ = portal_with_run
+    with pytest.raises(PortalError):
+        portal.status("nope")
+
+
+def test_unknown_product(portal_with_run):
+    portal, _ = portal_with_run
+    from repro.errors import CatalogError
+
+    with pytest.raises(CatalogError):
+        portal.retrieve("nope", "vdc-utah")
+
+
+def test_bad_deposit_site():
+    portal = Portal(capacity=FixedCapacity(8))
+    config = FdwConfig(n_waveforms=8, n_stations=2, mesh=(8, 5), name="bad")
+    from repro.errors import StorageError
+
+    with pytest.raises(StorageError):
+        portal.launch(config, deposit_site="not-a-site")
+
+
+def test_second_user_discovers_first_users_data(portal_with_run):
+    portal, run = portal_with_run
+    # Bob searches for Chilean waveform catalogs deposited by anyone.
+    hits = portal.discover(kind="waveforms", tags={"chile"})
+    assert hits
+    elapsed = portal.retrieve(hits[0].product_id, "vdc-psu")
+    assert elapsed > 0

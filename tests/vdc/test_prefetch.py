@@ -1,0 +1,123 @@
+"""Tests for repro.vdc.prefetch — intelligent data delivery."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.vdc.catalog import DataCatalog, ProductRecord
+from repro.vdc.prefetch import PrefetchService, QueryEvent
+from repro.vdc.storage import FederatedStorage, StorageSite
+
+
+@pytest.fixture()
+def services():
+    catalog = DataCatalog()
+    storage = FederatedStorage(
+        [
+            StorageSite("origin", capacity_mb=10000.0),
+            StorageSite("home", capacity_mb=10000.0),
+            StorageSite("tiny", capacity_mb=5.0),
+        ]
+    )
+    for i, (kind, tags, mw) in enumerate(
+        [
+            ("waveforms", {"chile"}, 8.0),
+            ("waveforms", {"cascadia"}, 8.5),
+            ("ruptures", {"chile"}, 8.0),
+            ("gf_bank", {"chile"}, 0.0),
+        ]
+    ):
+        record = ProductRecord(
+            product_id=f"p.{i}",
+            kind=kind,
+            site="origin",
+            size_mb=10.0,
+            tags=frozenset(tags),
+            metadata={"mw": mw},
+        )
+        catalog.deposit(record)
+        storage.store(record.product_id, record.size_mb, "origin")
+    return catalog, storage, PrefetchService(catalog, storage)
+
+
+def test_no_trace_no_prediction(services):
+    _, _, svc = services
+    assert svc.predict("home") == []
+    assert svc.prefetch("home") == []
+
+
+def test_predicts_matching_kind_and_tags(services):
+    _, _, svc = services
+    svc.record_query(QueryEvent(home_site="home", kind="waveforms", tags=frozenset({"chile"})))
+    predictions = svc.predict("home", top=2)
+    assert predictions
+    assert predictions[0].product_id == "p.0"  # chile waveforms scores highest
+
+
+def test_recency_weighting(services):
+    _, _, svc = services
+    # Old interest: chile; new interest: cascadia.
+    svc.record_query(QueryEvent(home_site="home", kind="waveforms", tags=frozenset({"chile"})))
+    svc.record_query(QueryEvent(home_site="home", kind="waveforms", tags=frozenset({"cascadia"})))
+    predictions = svc.predict("home", top=1)
+    assert predictions[0].product_id == "p.1"
+
+
+def test_prefetch_replicates(services):
+    _, storage, svc = services
+    svc.record_query(QueryEvent(home_site="home", kind="waveforms", tags=frozenset({"chile"})))
+    placed = svc.prefetch("home", top=1)
+    assert placed == ["p.0"]
+    assert "home" in storage.replicas("p.0")
+
+
+def test_prefetch_excludes_already_local(services):
+    _, storage, svc = services
+    storage.replicate("p.0", "home")
+    svc.record_query(QueryEvent(home_site="home", kind="waveforms", tags=frozenset({"chile"})))
+    predictions = svc.predict("home", top=4)
+    assert all(p.product_id != "p.0" for p in predictions)
+
+
+def test_prefetch_skips_over_capacity(services):
+    _, storage, svc = services
+    svc.record_query(QueryEvent(home_site="tiny", kind="waveforms", tags=frozenset({"chile"})))
+    placed = svc.prefetch("tiny", top=2)
+    assert placed == []  # 10 MB products do not fit a 5 MB site
+    assert storage.usage_mb("tiny") == 0.0
+
+
+def test_trace_bounded(services):
+    catalog, storage, _ = services
+    svc = PrefetchService(catalog, storage, history=2)
+    for i in range(5):
+        svc.record_query(QueryEvent(home_site="home", kind="waveforms"))
+    assert len(svc.trace_for("home")) == 2
+
+
+def test_validation(services):
+    catalog, storage, svc = services
+    with pytest.raises(StorageError):
+        PrefetchService(catalog, storage, history=0)
+    with pytest.raises(StorageError):
+        svc.record_query(QueryEvent(home_site="nope"))
+    with pytest.raises(StorageError):
+        svc.predict("home", top=0)
+
+
+def test_portal_records_queries_and_prefetches():
+    from repro.core.config import FdwConfig
+    from repro.osg.capacity import FixedCapacity
+    from repro.vdc.portal import Portal
+
+    portal = Portal(capacity=FixedCapacity(8))
+    config = FdwConfig(n_waveforms=8, n_stations=3, mesh=(8, 5), name="pf")
+    run = portal.launch(config, user="alice", deposit_site="vdc-utah", seed=2)
+    # A researcher at PSU searches twice; the prefetcher learns.
+    portal.discover(home_site="vdc-psu", kind="waveforms", tags={"fdw"})
+    portal.discover(home_site="vdc-psu", kind="waveforms", tags={"fdw"})
+    placed = portal.prefetcher.prefetch("vdc-psu", top=1)
+    waveforms_id = next(p for p in run.product_ids if p.endswith("waveforms"))
+    assert placed == [waveforms_id]
+    # The prefetched product now retrieves at local speed.
+    fast = portal.retrieve(waveforms_id, "vdc-psu")
+    assert fast < 1.0

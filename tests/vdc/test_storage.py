@@ -1,0 +1,116 @@
+"""Tests for repro.vdc.storage."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.vdc.storage import FederatedStorage, StorageSite
+
+
+def federation():
+    return FederatedStorage(
+        [
+            StorageSite("a", capacity_mb=1000.0, local_mb_per_s=100.0, wan_mb_per_s=10.0),
+            StorageSite("b", capacity_mb=1000.0, local_mb_per_s=100.0, wan_mb_per_s=10.0),
+            StorageSite("c", capacity_mb=50.0, local_mb_per_s=100.0, wan_mb_per_s=10.0),
+        ]
+    )
+
+
+def test_store_and_replicas():
+    fed = federation()
+    fed.store("p", 100.0, "a")
+    assert fed.replicas("p") == {"a"}
+    assert fed.usage_mb("a") == 100.0
+
+
+def test_store_duplicate_rejected():
+    fed = federation()
+    fed.store("p", 10.0, "a")
+    with pytest.raises(StorageError):
+        fed.store("p", 10.0, "b")
+
+
+def test_store_over_capacity_rejected():
+    fed = federation()
+    with pytest.raises(StorageError):
+        fed.store("big", 100.0, "c")  # c holds only 50 MB
+
+
+def test_local_retrieval_fast():
+    fed = federation()
+    fed.store("p", 100.0, "a")
+    assert fed.retrieval_time_s("p", "a") == pytest.approx(1.0)  # 100/100
+
+
+def test_remote_retrieval_pays_wan_and_caches():
+    fed = federation()
+    fed.store("p", 100.0, "a")
+    first = fed.retrieval_time_s("p", "b")
+    assert first == pytest.approx(10.0)  # 100/10 over WAN
+    assert "b" in fed.replicas("p")
+    second = fed.retrieval_time_s("p", "b")
+    assert second == pytest.approx(1.0)  # now local
+
+
+def test_remote_retrieval_without_caching():
+    fed = federation()
+    fed.store("p", 100.0, "a")
+    fed.retrieval_time_s("p", "b", cache=False)
+    assert fed.replicas("p") == {"a"}
+
+
+def test_cache_skipped_when_site_full():
+    fed = federation()
+    fed.store("p", 100.0, "a")
+    # Site c (50 MB) cannot cache a 100 MB product, but retrieval works.
+    t = fed.retrieval_time_s("p", "c")
+    assert t == pytest.approx(10.0)
+    assert "c" not in fed.replicas("p")
+
+
+def test_explicit_replicate_and_drop():
+    fed = federation()
+    fed.store("p", 10.0, "a")
+    fed.replicate("p", "b")
+    assert fed.replicas("p") == {"a", "b"}
+    fed.replicate("p", "b")  # idempotent
+    fed.drop_replica("p", "a")
+    assert fed.replicas("p") == {"b"}
+    with pytest.raises(StorageError):
+        fed.drop_replica("p", "b")  # last replica
+
+
+def test_drop_missing_replica():
+    fed = federation()
+    fed.store("p", 10.0, "a")
+    with pytest.raises(StorageError):
+        fed.drop_replica("p", "b")
+
+
+def test_unknown_product_and_site():
+    fed = federation()
+    with pytest.raises(StorageError):
+        fed.replicas("nope")
+    with pytest.raises(StorageError):
+        fed.retrieval_time_s("nope", "a")
+    with pytest.raises(StorageError):
+        fed.site("zzz")
+    fed.store("p", 10.0, "a")
+    with pytest.raises(StorageError):
+        fed.replicate("p", "zzz")
+
+
+def test_validation():
+    with pytest.raises(StorageError):
+        FederatedStorage([])
+    with pytest.raises(StorageError):
+        FederatedStorage([StorageSite("a"), StorageSite("a")])
+    with pytest.raises(StorageError):
+        StorageSite("")
+    with pytest.raises(StorageError):
+        StorageSite("x", capacity_mb=0.0)
+    with pytest.raises(StorageError):
+        StorageSite("x", wan_mb_per_s=0.0)
+    fed = federation()
+    with pytest.raises(StorageError):
+        fed.store("neg", -1.0, "a")

@@ -4,13 +4,29 @@ These time the actual numerical phases (not the pool simulation):
 distance matrices, stochastic rupture generation, GF computation and
 waveform synthesis — the costs that anchor the OSG runtime model via
 :meth:`repro.osg.runtimes.RuntimeModel.calibrate_from_kernels`.
+
+The ``gf-cache`` and ``phase-c-pool`` groups track the GF reuse
+subsystem: cold vs. warm :class:`~repro.core.gfcache.GFCache` lookups,
+batched vs. per-rupture Phase-C synthesis, and the seed pool path
+(every worker rebuilds the bank per chunk) against the shared-memory
+pool. ``FDW_BENCH_SCALE`` shrinks the workload for smoke runs; pass
+``--benchmark-json BENCH_kernels.json`` to persist the numbers (the CI
+smoke job archives that artifact).
 """
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import ProcessPoolExecutor
+
 import numpy as np
 import pytest
 
+from _common import bench_scale
+from repro.core.config import FdwConfig
+from repro.core.gfcache import GFCache
+from repro.core.local import LocalRunner, _fakequakes_for, _run_c_chunk
+from repro.core.phases import chunk_bounds
 from repro.seismo.distance import DistanceMatrices
 from repro.seismo.geometry import build_chile_slab
 from repro.seismo.greens import compute_gf_bank
@@ -69,3 +85,175 @@ def test_kernel_waveform_synthesis(benchmark, gf_bank, generator):
     synth = WaveformSynthesizer(gf_bank)
     ws = benchmark(synth.synthesize, rupture)
     assert ws.n_stations == gf_bank.n_stations
+
+
+# -- GF cache: cold vs warm ---------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def ruptures(generator):
+    n = max(4, int(round(16 * bench_scale())))
+    return [
+        generator.generate(np.random.default_rng(100 + i), f"bench.{i:06d}", 8.5)
+        for i in range(n)
+    ]
+
+
+@pytest.mark.benchmark(group="gf-cache")
+def test_gf_cache_cold(benchmark, geometry, network, tmp_path):
+    """Cold lookup: every round computes the bank and stores it."""
+
+    def cold():
+        cache = GFCache(cache_dir=tmp_path / "cold")
+        bank = cache.get_or_compute(geometry, network)
+        cache.clear(disk=True)
+        return bank
+
+    bank = benchmark(cold)
+    assert bank.n_stations == len(network)
+
+
+@pytest.mark.benchmark(group="gf-cache")
+def test_gf_cache_warm_disk(benchmark, geometry, network, tmp_path):
+    """Warm disk hit: memory level dropped, bank reloaded from .npz."""
+    cache = GFCache(cache_dir=tmp_path / "warm")
+    cache.get_or_compute(geometry, network)
+
+    def warm():
+        cache.clear()  # keep the disk store, drop memory
+        return cache.get_or_compute(geometry, network)
+
+    bank = benchmark(warm)
+    assert cache.stats.disk_hits >= 1
+    assert bank.n_stations == len(network)
+
+
+@pytest.mark.benchmark(group="gf-cache")
+def test_gf_cache_warm_memory(benchmark, geometry, network):
+    """Warm memory hit: the LRU returns the resident bank."""
+    cache = GFCache()
+    cache.get_or_compute(geometry, network)
+    bank = benchmark(cache.get_or_compute, geometry, network)
+    assert bank.n_stations == len(network)
+
+
+# -- Phase C: batched vs per-rupture -----------------------------------------
+
+
+@pytest.mark.benchmark(group="phase-c-batch")
+def test_phase_c_per_rupture(benchmark, gf_bank, ruptures):
+    synth = WaveformSynthesizer(gf_bank)
+    sets = benchmark(lambda: [synth.synthesize(r) for r in ruptures])
+    assert len(sets) == len(ruptures)
+
+
+@pytest.mark.benchmark(group="phase-c-batch")
+def test_phase_c_batched(benchmark, gf_bank, ruptures):
+    synth = WaveformSynthesizer(gf_bank)
+    sets = benchmark(synth.synthesize_batch, ruptures)
+    assert len(sets) == len(ruptures)
+    reference = [synth.synthesize(r) for r in ruptures]
+    for ws, ref in zip(sets, reference):
+        assert np.array_equal(ws.data, ref.data)  # bit-identical products
+
+
+# -- Phase C pool: seed path vs shared-memory bank ----------------------------
+
+POOL_WORKERS = 4
+
+
+@pytest.fixture(scope="module")
+def pool_config():
+    s = bench_scale()
+    return FdwConfig(
+        name="bench_pool",
+        n_waveforms=max(8, int(round(16 * s))),
+        n_stations=max(4, int(round(121 * s))),
+        mesh=(max(8, int(round(30 * s))), max(5, int(round(15 * s)))),
+        chunk_a=8,
+        chunk_c=2,
+        seed=7,
+    )
+
+
+def _seed_c_chunk(args: tuple[FdwConfig, int, int]) -> list[float]:
+    """Faithful reproduction of the seed repo's pool worker: rebuild
+    geometry, distances, the rupture chunk and the full GF bank, then
+    synthesize one rupture at a time (the pre-batching scalar loop)."""
+    config, start, count = args
+    fq = _fakequakes_for(config)
+    fq.phase_a_distances()
+    ruptures = fq.phase_a_ruptures(start, count)
+    bank = fq.phase_b_greens_functions()
+    synth = WaveformSynthesizer(bank, dt_s=fq.params.dt_s)
+    return [float(synth.synthesize(r).pgd_m().max()) for r in ruptures]
+
+
+def _seed_c_phase(config: FdwConfig) -> list[float]:
+    """The seed pool path for the whole C phase (pool created per run,
+    as the seed `LocalRunner.run` did)."""
+    chunks = [
+        (config, start, count)
+        for start, count in chunk_bounds(config.n_waveforms, config.chunk_c)
+    ]
+    with ProcessPoolExecutor(max_workers=POOL_WORKERS) as pool:
+        rows = list(pool.map(_seed_c_chunk, chunks))
+    return [value for row in rows for value in row]
+
+
+@pytest.mark.benchmark(group="phase-c-pool")
+def test_phase_c_pool_seed_path(benchmark, pool_config):
+    maxima = benchmark(_seed_c_phase, pool_config)
+    assert len(maxima) == pool_config.n_waveforms
+
+
+@pytest.mark.benchmark(group="phase-c-pool")
+def test_phase_c_pool_shared_bank(benchmark, pool_config, tmp_path):
+    """Persistent pool + shared-memory bank + warm GF cache (full run:
+    the dist/A/B phases it still performs are cache hits / parent-side
+    work shared with the seed arm)."""
+    with LocalRunner(
+        n_workers=POOL_WORKERS, gf_cache=GFCache(cache_dir=tmp_path / "gf")
+    ) as runner:
+        runner.run(pool_config)  # warm the cache, spin the pool up
+        result = benchmark(runner.run, pool_config)
+    assert result.n_waveform_sets == pool_config.n_waveforms
+    # Numerically identical products to the seed pool path.
+    seed_maxima = _seed_c_phase(pool_config)
+    new_maxima = [
+        result.pgd_by_rupture[f"chile_slab.{i:06d}"]
+        for i in range(pool_config.n_waveforms)
+    ]
+    assert new_maxima == seed_maxima
+
+
+def test_phase_c_pool_speedup_report(pool_config, tmp_path, capsys):
+    """One-shot before/after comparison printed as a table (not a
+    pytest-benchmark timing; runs even with --benchmark-disable)."""
+    t0 = time.perf_counter()
+    seed_maxima = _seed_c_phase(pool_config)
+    seed_s = time.perf_counter() - t0
+
+    with LocalRunner(
+        n_workers=POOL_WORKERS, gf_cache=GFCache(cache_dir=tmp_path / "gf")
+    ) as runner:
+        runner.run(pool_config)  # warm
+        t0 = time.perf_counter()
+        result = runner.run(pool_config)
+        full_s = time.perf_counter() - t0
+    c_s = result.phase_seconds["C"]
+
+    new_maxima = [
+        result.pgd_by_rupture[f"chile_slab.{i:06d}"]
+        for i in range(pool_config.n_waveforms)
+    ]
+    assert new_maxima == seed_maxima
+    with capsys.disabled():
+        print(
+            f"\n### Phase-C pool ({pool_config.n_waveforms} waveforms, "
+            f"{pool_config.n_stations} stations, {POOL_WORKERS} workers)\n"
+            f"seed C phase (rebuild per chunk, scalar) : {seed_s:8.3f} s\n"
+            f"shared-bank C phase (warm cache, batch)  : {c_s:8.3f} s\n"
+            f"C-phase speedup                          : {seed_s / c_s:8.2f}x\n"
+            f"(full warm run incl. dist/A/B            : {full_s:8.3f} s)"
+        )

@@ -17,6 +17,17 @@ to offload. The replay semantics:
 The per-second loop is O(1) amortized per second + per event (sorted
 pointers, an idle heap, and a VDC completion heap), so multi-hour
 batches replay in well under a second.
+
+The replay is additionally *event-driven between policy-relevant
+seconds* (``run(event_driven=True)``, the default): whenever no policy
+can possibly fire — no policies configured, or the burst cap already
+reached — the loop jumps straight to the next second at which
+``completed`` can change (a trace end event or a VDC completion) and
+fills the skipped seconds of the throughput series analytically with
+the exact same float expression the per-second update uses. The series
+and the full :class:`BurstingResult` are bit-identical to the
+per-second loop (``event_driven=False``), which is kept as the
+reference arm and asserted against in the regression tests.
 """
 
 from __future__ import annotations
@@ -122,6 +133,21 @@ class _ReplayState:
             self.completed += 1
         self.instant_throughput_jpm = self.completed / (now / 60.0)
 
+    def next_completion_event_s(self) -> float | None:
+        """Relative time of the next event that can change ``completed``.
+
+        Only trace end events and VDC completions move the counter;
+        submit/start events merely update the policies' queue view, so
+        when no policy can fire the replay may skip straight past them.
+        ``None`` when nothing is pending (an inconsistent trace).
+        """
+        candidates: list[float] = []
+        if self.end_ptr < self.n_jobs:
+            candidates.append(self.by_end[self.end_ptr].end_s - self.t0)
+        if self.vdc_heap:
+            candidates.append(self.vdc_heap[0])
+        return min(candidates) if candidates else None
+
     # -- policy view properties -----------------------------------------------
 
     def _queue_head(self) -> tuple[float, int] | None:
@@ -221,8 +247,14 @@ class BurstingSimulator:
             )
         self.max_burst_fraction = max_burst_fraction
 
-    def run(self) -> BurstingResult:
-        """Execute the per-second replay; returns the result bundle."""
+    def run(self, event_driven: bool = True) -> BurstingResult:
+        """Execute the replay; returns the result bundle.
+
+        With ``event_driven=True`` (default) the loop skips ahead
+        between policy-relevant seconds (see module docstring); the
+        result is bit-identical to ``event_driven=False``, the
+        reference per-second loop.
+        """
         state = _ReplayState(self.trace, self.cloud)
         n_jobs = state.n_jobs
         max_bursts = (
@@ -242,6 +274,24 @@ class BurstingSimulator:
         )
 
         while state.completed < n_jobs:
+            if event_driven and (not self.policies or n_bursted >= max_bursts):
+                # No policy can fire from here on this second range, so
+                # nothing observable changes until the next completion
+                # event. Fill the series analytically up to (not
+                # including) the second that processes it; stateful
+                # policies are never skipped past (they must see every
+                # second to update their estimators).
+                nxt = state.next_completion_event_s()
+                if nxt is None:
+                    stop = np.floor(horizon) + 1.0  # run into the horizon check
+                else:
+                    stop = max(float(np.ceil(nxt)), now + 1.0)
+                s = now + 1.0
+                while s < stop and s <= horizon:
+                    # identical float expression to advance_to's update
+                    series.append(state.completed / (s / 60.0))
+                    s += 1.0
+                now = s - 1.0
             now += 1.0
             if now > horizon:
                 raise TraceError(

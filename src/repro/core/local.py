@@ -13,21 +13,41 @@ plays that role two ways:
   per-job costs — this is the control number the
   ``bench_single_machine_vs_osg`` benchmark compares against (the
   56.8 % headline).
+
+The pool path shares one Green's-function bank across all workers
+through :mod:`repro.core.gfcache`: the parent computes (or cache-loads)
+the bank once, publishes its arrays into ``multiprocessing``
+shared-memory segments, and ships workers only a small picklable
+:class:`~repro.core.gfcache.SharedBankHandle` plus the pre-generated
+rupture chunk. Workers never rebuild geometry, distances, ruptures, or
+the bank — the in-process equivalent of every Phase-C job pulling the
+Phase-B archive from the Stash/OSDF cache instead of recomputing it.
 """
 
 from __future__ import annotations
 
 import time
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import ConfigError
 from repro.core.config import FdwConfig
+from repro.core.gfcache import (
+    GFCache,
+    SharedBankHandle,
+    attach_shared_bank,
+    gf_bank_key,
+    publish_shared_bank,
+)
 from repro.core.phases import chunk_bounds, plan_phases
 from repro.osg.runtimes import RuntimeModel
+from repro.rng import RngFactory
 from repro.seismo.fakequakes import FakeQuakes, FakeQuakesParameters
 from repro.seismo.mudpy_io import ProductArchive, write_rupt
+from repro.seismo.ruptures import Rupture
+from repro.seismo.waveforms import GnssNoiseModel, WaveformSynthesizer
 
 __all__ = ["LocalRunResult", "LocalRunner", "estimate_sequential_runtime_s"]
 
@@ -48,7 +68,7 @@ class LocalRunResult:
         return sum(self.phase_seconds.values())
 
 
-def _fakequakes_for(config: FdwConfig) -> FakeQuakes:
+def _fakequakes_for(config: FdwConfig, gf_cache: GFCache | None = None) -> FakeQuakes:
     params = FakeQuakesParameters(
         n_ruptures=config.n_waveforms,
         n_stations=config.n_stations,
@@ -56,17 +76,80 @@ def _fakequakes_for(config: FdwConfig) -> FakeQuakes:
         mesh=config.mesh,
         seed=config.seed,
     )
-    return FakeQuakes.from_parameters(params)
+    return FakeQuakes.from_parameters(params, gf_cache=gf_cache)
 
 
 def _run_c_chunk(args: tuple[FdwConfig, int, int]) -> list[float]:
-    """Worker: synthesize one C chunk, return max PGDs (for the pool path)."""
+    """Legacy worker: rebuild everything, synthesize one C chunk.
+
+    This is the seed pool path — every worker re-derives geometry,
+    distances, the rupture chunk, *and the full GF bank* per chunk. Kept
+    only as the "before" arm of ``benchmarks/bench_kernels.py``;
+    :class:`LocalRunner` now dispatches :func:`_synthesize_chunk_shared`
+    instead.
+    """
     config, start, count = args
     fq = _fakequakes_for(config)
     fq.phase_a_distances()
     ruptures = fq.phase_a_ruptures(start, count)
     sets = fq.phase_c_waveforms(ruptures)
     return [float(ws.pgd_m().max()) for ws in sets]
+
+
+#: Pool task: (shared-bank handle, parameters, rupture chunk, spool dir).
+_ChunkTask = tuple[SharedBankHandle, FakeQuakesParameters, list[Rupture], str | None]
+
+
+def _synthesize_chunk_shared(
+    task: _ChunkTask,
+) -> list[tuple[str, float, float, str | None]]:
+    """Worker: synthesize one C chunk against the shared GF bank.
+
+    Attaches the published bank (idempotent per worker process — the
+    segments are mapped once and reused for every subsequent chunk),
+    runs the batched synthesis kernel, and spools each product to
+    ``spool_dir`` when the run archives. Returns one row per rupture:
+    ``(rupture_id, max PGD, target Mw, spooled path or None)``.
+    """
+    handle, params, ruptures, spool_dir = task
+    bank = attach_shared_bank(handle)
+    noise = GnssNoiseModel() if params.with_noise else None
+    synth = WaveformSynthesizer(bank, dt_s=params.dt_s, noise=noise)
+    rngs = (
+        [RngFactory(params.seed).generator("noise", r.rupture_id) for r in ruptures]
+        if params.with_noise
+        else None
+    )
+    rows: list[tuple[str, float, float, str | None]] = []
+    for ws in synth.synthesize_batch(ruptures, rngs=rngs):
+        path: str | None = None
+        if spool_dir is not None:
+            path = str(Path(spool_dir) / f"{ws.rupture_id}.npz")
+            ws.save(path)
+        rows.append(
+            (
+                ws.rupture_id,
+                float(ws.pgd_m().max()),
+                float(ws.metadata.get("target_mw", 0.0)),
+                path,
+            )
+        )
+    return rows
+
+
+def _release_state(state: dict) -> None:
+    """Tear down a runner's pool and unlink its shared-memory segments."""
+    pool = state.get("pool")
+    if pool is not None:
+        pool.shutdown(wait=True, cancel_futures=True)
+        state["pool"] = None
+    for shm in state.get("segments", ()):
+        try:
+            shm.close()
+            shm.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover - double free
+            pass
+    state["segments"] = []
 
 
 class LocalRunner:
@@ -76,20 +159,64 @@ class LocalRunner:
     ----------
     n_workers:
         1 (default) mirrors MudPy's native sequential behaviour; >1
-        fans C chunks out over a process pool (each worker rebuilds the
-        GF bank, so this pays off only for CPU-bound catalogs).
+        fans C chunks out over a persistent process pool that reads one
+        shared-memory copy of the GF bank (see module docstring).
+    gf_cache:
+        The :class:`~repro.core.gfcache.GFCache` Phase B routes
+        through. ``None`` builds a private cache (which still honours
+        ``REPRO_GF_CACHE_DIR``); pass a shared instance to reuse banks
+        across runners.
+
+    The pool and the published shared-memory segments persist across
+    :meth:`run` calls — repeated runs of the same configuration skip
+    Phase B entirely and re-dispatch against the already-published
+    bank. Call :meth:`close` (or use the runner as a context manager)
+    to release them; a finalizer also releases on garbage collection.
     """
 
-    def __init__(self, n_workers: int = 1) -> None:
+    def __init__(self, n_workers: int = 1, gf_cache: GFCache | None = None) -> None:
         if n_workers < 1:
             raise ConfigError(f"n_workers must be >= 1, got {n_workers}")
         self.n_workers = n_workers
+        self.gf_cache = gf_cache if gf_cache is not None else GFCache()
+        self._published: dict[str, SharedBankHandle] = {}
+        self._state: dict = {"pool": None, "segments": []}
+        self._finalizer = weakref.finalize(self, _release_state, self._state)
+
+    # -- pool / shared-bank lifecycle ----------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._state["pool"] is None:
+            self._state["pool"] = ProcessPoolExecutor(max_workers=self.n_workers)
+        return self._state["pool"]
+
+    def _shared_handle(self, key: str, fq: FakeQuakes) -> SharedBankHandle:
+        """Publish the bank for ``key`` once; reuse the handle afterwards."""
+        handle = self._published.get(key)
+        if handle is None:
+            handle, segments = publish_shared_bank(fq.phase_b_greens_functions(), key)
+            self._published[key] = handle
+            self._state["segments"].extend(segments)
+        return handle
+
+    def close(self) -> None:
+        """Shut the pool down and unlink the shared-memory segments."""
+        self._published.clear()
+        self._finalizer()
+
+    def __enter__(self) -> "LocalRunner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- execution ------------------------------------------------------------
 
     def run(
         self, config: FdwConfig, archive_dir: str | Path | None = None
     ) -> LocalRunResult:
         """Execute all three phases; optionally archive the products."""
-        fq = _fakequakes_for(config)
+        fq = _fakequakes_for(config, gf_cache=self.gf_cache)
         timings: dict[str, float] = {}
         archive = (
             ProductArchive(Path(archive_dir), name=config.name)
@@ -131,16 +258,43 @@ class LocalRunner:
                             move=True,
                         )
         else:
-            chunks = [
-                (config, start, count)
+            key = gf_bank_key(
+                fq.geometry, fq.network, gf_method=fq.params.gf_method
+            )
+            handle = self._shared_handle(key, fq)
+            spool: Path | None = None
+            if archive is not None:
+                spool = archive.root / "_spool"
+                spool.mkdir(parents=True, exist_ok=True)
+            tasks: list[_ChunkTask] = [
+                (
+                    handle,
+                    fq.params,
+                    ruptures[start : start + count],
+                    str(spool) if spool is not None else None,
+                )
                 for start, count in chunk_bounds(config.n_waveforms, config.chunk_c)
             ]
-            with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
-                for chunk, maxima in zip(chunks, pool.map(_run_c_chunk, chunks)):
-                    _, start, _ = chunk
-                    for offset, value in enumerate(maxima):
-                        pgd[f"{fq.geometry.name}.{start + offset:06d}"] = value
-                        n_sets += 1
+            pool = self._ensure_pool()
+            for rows in pool.map(_synthesize_chunk_shared, tasks):
+                for rupture_id, pgd_max, target_mw, path in rows:
+                    pgd[rupture_id] = pgd_max
+                    n_sets += 1
+                    if archive is not None and path is not None:
+                        # Workers spool; the parent owns the manifest (the
+                        # archive index is not multiprocess-safe).
+                        archive.add_file(
+                            Path(path),
+                            kind="waveforms",
+                            label=rupture_id,
+                            metadata={"mw": round(target_mw, 3)},
+                            move=True,
+                        )
+            if spool is not None:
+                try:
+                    spool.rmdir()
+                except OSError:  # pragma: no cover - stray spool files
+                    pass
         timings["C"] = time.perf_counter() - t0
 
         if archive is not None:
@@ -192,9 +346,15 @@ def estimate_sequential_runtime_s(
 
     if n_cpus < 1:
         raise ConfigError(f"n_cpus must be >= 1, got {n_cpus}")
+    n_stations = getattr(config, "n_stations", None)
+    if n_stations is None or n_stations <= 0:
+        raise ConfigError(
+            f"config.n_stations must be > 0 to scale the per-waveform cost, "
+            f"got {n_stations}"
+        )
     runtime = runtime or RuntimeModel()
     per_rupture = RUPTURE_CLOUD_SECONDS / 16.0
-    per_waveform = (WAVEFORM_CLOUD_SECONDS / 2.0) * (config.n_stations / 121.0)
+    per_waveform = (WAVEFORM_CLOUD_SECONDS / 2.0) * (n_stations / 121.0)
     plan = plan_phases(config)
     total = config.n_waveforms * (per_rupture + per_waveform)
     total += runtime.mean_seconds(plan.b_job.payload)  # type: ignore[arg-type]

@@ -23,7 +23,7 @@ from repro.errors import ConfigError
 from repro.condor.jobs import JobPayload, JobSpec
 from repro.core.config import FdwConfig
 
-__all__ = ["PhasePlan", "plan_phases", "chunk_bounds"]
+__all__ = ["PhasePlan", "plan_phases", "chunk_bounds", "gf_product_id"]
 
 #: Bytes per float64 sample; sizes below are reported in MB.
 _B = 8
@@ -96,6 +96,17 @@ def gf_archive_mb(config: FdwConfig) -> float:
     )
 
 
+def gf_product_id(config: FdwConfig) -> str:
+    """Logical product id of the Phase-B GF archive.
+
+    One name ties the delivery layers together: it is the staged input
+    file of every C job (charged to the Stash transfer model), and the
+    id the VDC catalog/storage layers register the archive under when
+    they route its bytes through :mod:`repro.core.gfcache`.
+    """
+    return f"{config.name}_gf.mseed.npz"
+
+
 def plan_phases(config: FdwConfig) -> PhasePlan:
     """Build every job spec for one FDW DAG."""
     name = config.name
@@ -145,7 +156,7 @@ def plan_phases(config: FdwConfig) -> PhasePlan:
                 phase="C", n_items=count, n_stations=config.n_stations
             ),
             input_files={
-                f"{name}_gf.mseed.npz": gf_mb,
+                gf_product_id(config): gf_mb,
                 f"{name}_ruptures_{i:05d}.tar": 0.2 * count,
             },
         )

@@ -16,6 +16,7 @@ __all__ = [
     "GreensFunctionError",
     "WaveformError",
     "ArchiveError",
+    "CacheError",
     "SubmitError",
     "DagError",
     "JobStateError",
@@ -63,6 +64,10 @@ class WaveformError(ReproError):
 
 class ArchiveError(ReproError):
     """Reading or writing a MudPy-style product archive failed."""
+
+
+class CacheError(ReproError):
+    """Green's-function bank cache lookup, store, or sharing failed."""
 
 
 # --- condor ---------------------------------------------------------------

@@ -17,6 +17,7 @@ parallel jobs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -28,6 +29,9 @@ from repro.seismo.greens import GreensFunctionBank, compute_gf_bank
 from repro.seismo.ruptures import Rupture, RuptureGenerator
 from repro.seismo.stations import StationNetwork, chilean_network
 from repro.seismo.waveforms import GnssNoiseModel, WaveformSet, WaveformSynthesizer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports seismo)
+    from repro.core.gfcache import GFCache
 
 __all__ = ["FakeQuakesParameters", "FakeQuakes"]
 
@@ -98,13 +102,21 @@ class FakeQuakes:
     geometry: FaultGeometry
     network: StationNetwork
     rngs: RngFactory = field(default_factory=RngFactory)
+    gf_cache: "GFCache | None" = field(default=None, repr=False)
     _distances: DistanceMatrices | None = field(default=None, repr=False)
     _generator: RuptureGenerator | None = field(default=None, repr=False)
     _gf_bank: GreensFunctionBank | None = field(default=None, repr=False)
 
     @classmethod
-    def from_parameters(cls, params: FakeQuakesParameters) -> "FakeQuakes":
-        """Standard construction: Chilean slab + synthetic network."""
+    def from_parameters(
+        cls, params: FakeQuakesParameters, gf_cache: "GFCache | None" = None
+    ) -> "FakeQuakes":
+        """Standard construction: Chilean slab + synthetic network.
+
+        ``gf_cache`` routes Phase B through a shared
+        :class:`~repro.core.gfcache.GFCache` so the bank is computed at
+        most once per (geometry, network, model) content key.
+        """
         geometry = build_chile_slab(n_strike=params.mesh[0], n_dip=params.mesh[1])
         network = chilean_network(params.n_stations)
         return cls(
@@ -112,6 +124,7 @@ class FakeQuakes:
             geometry=geometry,
             network=network,
             rngs=RngFactory(params.seed),
+            gf_cache=gf_cache,
         )
 
     # -- Phase A -------------------------------------------------------------
@@ -171,12 +184,19 @@ class FakeQuakes:
         """Compute (or recycle) the GF bank for the station list.
 
         The bank flavour follows ``params.gf_method`` (point source or
-        finite-fault Okada).
+        finite-fault Okada). With a :attr:`gf_cache` configured, the
+        computation routes through the content-addressed cache — a warm
+        cache skips Phase B entirely, the in-process analog of pulling
+        the ``.mseed`` archive from Stash/OSDF.
         """
         if recycled is not None:
             self._gf_bank = recycled
         elif self._gf_bank is None:
-            if self.params.gf_method == "okada":
+            if self.gf_cache is not None:
+                self._gf_bank = self.gf_cache.get_or_compute(
+                    self.geometry, self.network, gf_method=self.params.gf_method
+                )
+            elif self.params.gf_method == "okada":
                 from repro.seismo.okada import compute_okada_gf_bank
 
                 self._gf_bank = compute_okada_gf_bank(self.geometry, self.network)
@@ -189,21 +209,24 @@ class FakeQuakes:
     def phase_c_waveforms(
         self, ruptures: list[Rupture], duration_s: float | None = None
     ) -> list[WaveformSet]:
-        """Synthesize waveforms for a chunk of ruptures (one C-phase job)."""
+        """Synthesize waveforms for a chunk of ruptures (one C-phase job).
+
+        The whole chunk goes through the batched kernel
+        (:meth:`~repro.seismo.waveforms.WaveformSynthesizer.synthesize_batch`);
+        products are bit-identical to per-rupture synthesis, each
+        rupture keeping its own keyed noise stream.
+        """
         bank = self.phase_b_greens_functions()
         noise = GnssNoiseModel() if self.params.with_noise else None
         synth = WaveformSynthesizer(
             bank, dt_s=self.params.dt_s, duration_s=duration_s, noise=noise
         )
-        out = []
-        for r in ruptures:
-            rng = (
-                self.rngs.generator("noise", r.rupture_id)
-                if self.params.with_noise
-                else None
-            )
-            out.append(synth.synthesize(r, rng=rng))
-        return out
+        rngs = (
+            [self.rngs.generator("noise", r.rupture_id) for r in ruptures]
+            if self.params.with_noise
+            else None
+        )
+        return synth.synthesize_batch(ruptures, rngs=rngs)
 
     # -- convenience ----------------------------------------------------------
 

@@ -131,6 +131,15 @@ class GreensFunctionBank:
         """Number of subfaults (axis 1)."""
         return self.statics.shape[1]
 
+    @property
+    def nbytes(self) -> int:
+        """Physical size of the bank arrays in bytes.
+
+        What storage layers (:mod:`repro.core.gfcache` shared-memory
+        publishing, :mod:`repro.vdc.storage` placement) charge for.
+        """
+        return int(self.statics.nbytes) + int(self.travel_time_s.nbytes)
+
     def station_index(self, name: str) -> int:
         """Index of a station by code."""
         try:

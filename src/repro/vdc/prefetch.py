@@ -120,7 +120,11 @@ class PrefetchService:
         """Replicate the predicted products to the site.
 
         Products that do not fit (site capacity) are skipped, not
-        errors. Returns the product ids actually replicated.
+        errors. Predicted products with real bytes behind them (GF
+        banks) are also materialized into the storage's artifact-cache
+        disk store, so the prefetch is durable — the paper's
+        "prefetched for users" made concrete. Returns the product ids
+        actually replicated.
         """
         placed: list[str] = []
         for record in self.predict(home_site, top=top):
@@ -128,5 +132,6 @@ class PrefetchService:
                 self.storage.replicate(record.product_id, home_site)
             except StorageError:
                 continue  # over capacity: skip this prediction
+            self.storage.materialize(record.product_id)
             placed.append(record.product_id)
         return placed

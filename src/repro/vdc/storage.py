@@ -7,13 +7,28 @@ capacities and bandwidths; products are placed on a primary site and may
 be replicated; a retrieval from a user's *home site* is fast when a
 replica (or prefetched copy) is local, else pays the inter-site
 transfer and leaves a cached replica behind.
+
+Products whose bytes the library actually has — Green's-function banks —
+route through the shared :class:`~repro.core.gfcache.GFCache`: the site
+model tracks *where* replicas live and charges delivery times, while a
+single ``artifact_cache`` holds the one physical copy, mirroring OSDF's
+single federated namespace behind many caches. ``LocalRunner`` and the
+VDC therefore share one cache implementation (and, when both point at
+the same directory, one store).
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.errors import StorageError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.gfcache import GFCache
+    from repro.seismo.greens import GreensFunctionBank
 
 __all__ = ["StorageSite", "FederatedStorage"]
 
@@ -49,18 +64,35 @@ class StorageSite:
 
 
 class FederatedStorage:
-    """Replica placement and retrieval across sites."""
+    """Replica placement and retrieval across sites.
 
-    def __init__(self, sites: list[StorageSite]) -> None:
+    Parameters
+    ----------
+    sites:
+        The federation members.
+    artifact_cache:
+        Optional :class:`~repro.core.gfcache.GFCache` holding the real
+        bytes of bank-valued products (see module docstring). Without
+        it, :meth:`store_bank`/:meth:`fetch_bank` are unavailable and
+        the storage is a pure placement model.
+    """
+
+    def __init__(
+        self,
+        sites: list[StorageSite],
+        artifact_cache: "GFCache | None" = None,
+    ) -> None:
         if not sites:
             raise StorageError("need at least one storage site")
         names = [s.name for s in sites]
         if len(set(names)) != len(names):
             raise StorageError(f"duplicate site names: {names}")
         self.sites = {s.name: s for s in sites}
+        self.artifact_cache = artifact_cache
         self._replicas: dict[str, set[str]] = {}  # product_id -> site names
         self._usage_mb: dict[str, float] = {name: 0.0 for name in self.sites}
         self._sizes: dict[str, float] = {}
+        self._bank_keys: dict[str, str] = {}  # product_id -> GF cache key
 
     def site(self, name: str) -> StorageSite:
         """Site by name."""
@@ -142,3 +174,76 @@ class FederatedStorage:
         """Bytes (MB) currently placed at a site."""
         self.site(site)
         return self._usage_mb[site]
+
+    # -- bank-valued products (routed through the GF cache) -------------------
+
+    def _require_cache(self) -> "GFCache":
+        if self.artifact_cache is None:
+            raise StorageError(
+                "no artifact cache configured; pass artifact_cache=GFCache(...) "
+                "to store real GF banks"
+            )
+        return self.artifact_cache
+
+    def store_bank(
+        self,
+        product_id: str,
+        bank: "GreensFunctionBank",
+        site: str,
+        key: str | None = None,
+    ) -> float:
+        """Place a GF bank: replica bookkeeping plus the real bytes.
+
+        The site model records a primary replica sized from the bank's
+        physical arrays; the bytes themselves go into the shared
+        :attr:`artifact_cache` under ``key``. Pass the content-addressed
+        :func:`~repro.core.gfcache.gf_bank_key` of the inputs to share
+        the entry with in-process producers (``LocalRunner``); the
+        default derives a key from the product id. Returns the charged
+        size in MB.
+        """
+        cache = self._require_cache()
+        if key is None:
+            key = hashlib.sha256(b"product\x1f" + product_id.encode("utf-8")).hexdigest()
+        size_mb = bank.nbytes / (1024.0 * 1024.0)
+        self.store(product_id, size_mb, site)
+        self._bank_keys[product_id] = key
+        cache.put(key, bank)
+        return size_mb
+
+    def bank_key(self, product_id: str) -> str | None:
+        """GF-cache key of a bank-valued product, or ``None``."""
+        return self._bank_keys.get(product_id)
+
+    def fetch_bank(
+        self, product_id: str, home_site: str
+    ) -> "tuple[GreensFunctionBank, float]":
+        """Deliver a bank to a home site: ``(bank, elapsed seconds)``.
+
+        The elapsed time comes from :meth:`retrieval_time_s` (leaving a
+        cached replica behind as usual); the bytes come from the one
+        physical copy in the artifact cache.
+        """
+        cache = self._require_cache()
+        key = self._bank_keys.get(product_id)
+        if key is None:
+            raise StorageError(f"product {product_id!r} has no bank attached")
+        elapsed = self.retrieval_time_s(product_id, home_site)
+        bank = cache.get(key)
+        if bank is None:
+            raise StorageError(
+                f"bank bytes for {product_id!r} are gone from the artifact cache"
+            )
+        return bank, elapsed
+
+    def materialize(self, product_id: str) -> Path | None:
+        """Make a bank-valued product durable in the cache's disk store.
+
+        The in-process analog of prefetching the archive into an OSDF
+        cache ahead of demand. No-op (``None``) for products without
+        bank bytes or when the cache is memory-only.
+        """
+        key = self._bank_keys.get(product_id)
+        if key is None or self.artifact_cache is None:
+            return None
+        return self.artifact_cache.ensure_on_disk(key)

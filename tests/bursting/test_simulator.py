@@ -181,3 +181,89 @@ def test_custom_cloud_model():
     assert result.n_bursted > 0
     assert result.cloud_seconds == pytest.approx(result.n_bursted * 10.0)
     assert result.cost_usd == pytest.approx(result.cloud_seconds / 60.0)
+
+
+# -- event-driven replay regression ------------------------------------------
+
+
+def _result_fields(result):
+    return (
+        result.batch,
+        result.runtime_s,
+        result.original_runtime_s,
+        result.n_jobs,
+        result.n_bursted,
+        result.bursts_by_policy,
+        result.cloud_seconds,
+        result.cost_usd,
+    )
+
+
+@pytest.mark.parametrize(
+    "make_policies,cap",
+    [
+        (lambda: [], None),
+        (lambda: [QueueTimePolicy(max_queue_s=120.0)], None),
+        (
+            lambda: [
+                LowThroughputPolicy(),
+                QueueTimePolicy(max_queue_s=120.0),
+                SubmissionGapPolicy(),
+            ],
+            0.3,
+        ),
+    ],
+    ids=["control", "queue", "all-capped"],
+)
+def test_event_driven_bit_identical_to_per_second(make_policies, cap):
+    """The event-driven loop must reproduce the per-second reference
+    loop exactly — including every float of the throughput series.
+    Policies are stateful, so each arm gets fresh instances."""
+    trace = synthetic_trace(n_jobs=25, exec_s=130.5, stagger_s=17.0)
+    reference = BurstingSimulator(
+        trace, policies=make_policies(), max_burst_fraction=cap
+    ).run(event_driven=False)
+    fast = BurstingSimulator(
+        trace, policies=make_policies(), max_burst_fraction=cap
+    ).run(event_driven=True)
+    assert _result_fields(fast) == _result_fields(reference)
+    assert len(fast.throughput_series_jpm) == len(reference.throughput_series_jpm)
+    assert np.array_equal(
+        fast.throughput_series_jpm, reference.throughput_series_jpm
+    )
+
+
+def test_event_driven_bit_identical_when_bursting_fires():
+    """A trace with stuck jobs actually bursts; skip-ahead must engage
+    only after the cap is reached and stay bit-identical."""
+    jobs = [JobTrace(node="fast", phase="C", submit_s=0.0, start_s=10.0, end_s=100.0)]
+    for i in range(8):
+        jobs.append(
+            JobTrace(
+                node=f"stuck{i}",
+                phase="C",
+                submit_s=5.0 + i,
+                start_s=7000.0,
+                end_s=7400.0 + 10 * i,
+            )
+        )
+    trace = BatchTrace(
+        dagman="stuck", submit_s=0.0, first_execute_s=10.0, end_s=7480.0, jobs=jobs
+    )
+    for cap in (None, 0.25):
+        reference = BurstingSimulator(
+            trace,
+            policies=[QueueTimePolicy(max_queue_s=600.0)],
+            max_burst_fraction=cap,
+        ).run(event_driven=False)
+        fast = BurstingSimulator(
+            trace,
+            policies=[QueueTimePolicy(max_queue_s=600.0)],
+            max_burst_fraction=cap,
+        ).run(event_driven=True)
+        assert _result_fields(fast) == _result_fields(reference)
+        assert np.array_equal(
+            fast.throughput_series_jpm, reference.throughput_series_jpm
+        )
+        if cap is None:
+            assert fast.n_bursted == 8  # the scenario really bursts

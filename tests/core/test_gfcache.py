@@ -1,0 +1,205 @@
+"""Tests for repro.core.gfcache."""
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core.gfcache import (
+    CACHE_DIR_ENV,
+    GFCache,
+    attach_shared_bank,
+    detach_shared_banks,
+    gf_bank_key,
+    publish_shared_bank,
+)
+from repro.errors import CacheError
+from repro.seismo.geometry import build_chile_slab
+from repro.seismo.greens import compute_gf_bank
+from repro.seismo.stations import chilean_network
+
+
+# -- content-addressed keys ---------------------------------------------------
+
+
+def test_key_deterministic(small_geometry, small_network):
+    assert gf_bank_key(small_geometry, small_network) == gf_bank_key(
+        small_geometry, small_network
+    )
+
+
+def test_key_invalidates_on_geometry_change(small_geometry, small_network):
+    other = build_chile_slab(n_strike=11, n_dip=6)
+    assert gf_bank_key(small_geometry, small_network) != gf_bank_key(
+        other, small_network
+    )
+
+
+def test_key_invalidates_on_station_change(small_geometry, small_network):
+    other = chilean_network(9)
+    assert gf_bank_key(small_geometry, small_network) != gf_bank_key(
+        small_geometry, other
+    )
+
+
+def test_key_invalidates_on_model_params(small_geometry, small_network):
+    base = gf_bank_key(small_geometry, small_network)
+    assert base != gf_bank_key(small_geometry, small_network, gf_method="okada")
+    assert base != gf_bank_key(small_geometry, small_network, rake_deg=45.0)
+    assert base != gf_bank_key(
+        small_geometry, small_network, shear_velocity_kms=4.0
+    )
+    assert base != gf_bank_key(small_geometry, small_network, min_distance_km=2.0)
+
+
+# -- two-level cache ----------------------------------------------------------
+
+
+def test_warm_memory_hit_bit_identical(small_geometry, small_network):
+    cache = GFCache(cache_dir=None)
+    cold = cache.get_or_compute(small_geometry, small_network)
+    warm = cache.get_or_compute(small_geometry, small_network)
+    reference = compute_gf_bank(small_geometry, small_network)
+    assert np.array_equal(warm.statics, reference.statics)
+    assert np.array_equal(warm.travel_time_s, reference.travel_time_s)
+    assert warm is cold  # memory level returns the resident object
+    assert cache.stats.memory_hits == 1
+    assert cache.stats.misses == 1
+    assert cache.stats.stores == 1
+
+
+def test_warm_disk_hit_bit_identical(tmp_path, small_geometry, small_network):
+    cache = GFCache(cache_dir=tmp_path)
+    cold = cache.get_or_compute(small_geometry, small_network)
+    cache.clear()  # drop memory, keep disk
+    warm = cache.get_or_compute(small_geometry, small_network)
+    assert warm is not cold
+    assert np.array_equal(warm.statics, cold.statics)
+    assert np.array_equal(warm.travel_time_s, cold.travel_time_s)
+    assert warm.station_names == cold.station_names
+    assert cache.stats.disk_hits == 1
+    assert len(cache.disk_keys()) == 1
+
+
+def test_invalidation_recomputes(small_geometry, small_network):
+    calls = []
+    cache = GFCache()
+
+    def computing(geometry):
+        def compute():
+            calls.append(geometry.name)
+            return compute_gf_bank(geometry, small_network)
+
+        return compute
+
+    cache.get_or_compute(
+        small_geometry, small_network, compute=computing(small_geometry)
+    )
+    cache.get_or_compute(
+        small_geometry, small_network, compute=computing(small_geometry)
+    )
+    assert len(calls) == 1  # warm hit, no recompute
+    other = build_chile_slab(n_strike=12, n_dip=6)
+    cache.get_or_compute(other, small_network, compute=computing(other))
+    assert len(calls) == 2  # different geometry -> different key -> recompute
+
+
+def test_lru_eviction_survives_on_disk(tmp_path, small_geometry, small_network):
+    cache = GFCache(cache_dir=tmp_path, max_memory_entries=1)
+    cache.get_or_compute(small_geometry, small_network)
+    other = build_chile_slab(n_strike=12, n_dip=6)
+    cache.get_or_compute(other, small_network)
+    assert cache.stats.evictions == 1
+    assert len(cache.memory_keys()) == 1
+    assert len(cache.disk_keys()) == 2
+    # The evicted bank comes back from disk, not a recompute.
+    cache.get_or_compute(small_geometry, small_network)
+    assert cache.stats.disk_hits == 1
+
+
+def test_cache_dir_from_environment(tmp_path, monkeypatch, small_geometry, small_network):
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "envstore"))
+    cache = GFCache()
+    cache.get_or_compute(small_geometry, small_network)
+    assert len(list((tmp_path / "envstore").glob("gf_*.npz"))) == 1
+
+
+def test_clear_disk(tmp_path, small_geometry, small_network):
+    cache = GFCache(cache_dir=tmp_path)
+    cache.get_or_compute(small_geometry, small_network)
+    cache.clear(disk=True)
+    assert cache.memory_keys() == []
+    assert cache.disk_keys() == []
+
+
+def test_validation_errors():
+    with pytest.raises(CacheError):
+        GFCache(max_memory_entries=0)
+    with pytest.raises(CacheError):
+        GFCache().put("", None)
+
+
+# -- shared-memory publishing -------------------------------------------------
+
+
+def _reader_checksum(handle):
+    """Worker: attach the shared bank and checksum its arrays."""
+    bank = attach_shared_bank(handle)
+    return (
+        float(np.sum(bank.statics)),
+        float(np.sum(bank.travel_time_s)),
+        bank.statics.flags.writeable,
+    )
+
+
+def test_publish_attach_roundtrip(small_gf_bank, small_geometry, small_network):
+    key = gf_bank_key(small_geometry, small_network)
+    handle, segments = publish_shared_bank(small_gf_bank, key)
+    try:
+        attached = attach_shared_bank(handle)
+        assert np.array_equal(attached.statics, small_gf_bank.statics)
+        assert np.array_equal(attached.travel_time_s, small_gf_bank.travel_time_s)
+        assert attached.station_names == small_gf_bank.station_names
+        assert not attached.statics.flags.writeable
+        assert not attached.travel_time_s.flags.writeable
+        # Idempotent per key: second attach returns the cached mapping.
+        assert attach_shared_bank(handle) is attached
+    finally:
+        detach_shared_banks()
+        for shm in segments:
+            shm.close()
+            shm.unlink()
+
+
+def test_concurrent_readers_see_identical_bytes(small_gf_bank):
+    """Many processes reading the same segments observe the same data —
+    read-only views cannot corrupt the shared bank."""
+    handle, segments = publish_shared_bank(small_gf_bank, "concurrent-test")
+    expected = (
+        float(np.sum(small_gf_bank.statics)),
+        float(np.sum(small_gf_bank.travel_time_s)),
+    )
+    try:
+        ctx = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(max_workers=4, mp_context=ctx) as pool:
+            results = list(pool.map(_reader_checksum, [handle] * 12))
+        for statics_sum, travel_sum, writeable in results:
+            assert (statics_sum, travel_sum) == expected
+            assert not writeable
+        # The parent's copy is untouched after all that reading.
+        assert float(np.sum(small_gf_bank.statics)) == expected[0]
+    finally:
+        detach_shared_banks()
+        for shm in segments:
+            shm.close()
+            shm.unlink()
+
+
+def test_attach_after_unlink_raises(small_gf_bank):
+    handle, segments = publish_shared_bank(small_gf_bank, "gone-test")
+    for shm in segments:
+        shm.close()
+        shm.unlink()
+    with pytest.raises(CacheError):
+        attach_shared_bank(handle)

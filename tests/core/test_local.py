@@ -101,3 +101,95 @@ def test_estimate_small_input_faster():
     # The waveform-synthesis term scales with the station list; the
     # rupture term does not, so the gap is large but bounded.
     assert full > 3 * small
+
+
+# -- shared-memory pool path --------------------------------------------------
+
+
+def test_pool_path_matches_sequential(tiny_config, run_result):
+    with LocalRunner(n_workers=2) as runner:
+        pooled = runner.run(tiny_config)
+    assert pooled.n_waveform_sets == tiny_config.n_waveforms
+    # Bit-identical products: same rupture ids, same PGD floats.
+    assert pooled.pgd_by_rupture == run_result.pgd_by_rupture
+
+
+def test_pool_path_archives(tmp_path, tiny_config):
+    """Regression: the seed pool path silently dropped archive_dir."""
+    with LocalRunner(n_workers=2) as runner:
+        result = runner.run(tiny_config, archive_dir=tmp_path / "arch")
+    archive = ProductArchive(tmp_path / "arch")
+    assert len(archive.find(kind="waveforms")) == tiny_config.n_waveforms
+    assert len(archive.find(kind="ruptures")) == tiny_config.n_waveforms
+    assert result.archive_root == archive.root
+    # No spool or temp files left behind.
+    assert not list(archive.root.glob("_tmp_*"))
+    assert not (archive.root / "_spool").exists()
+
+
+def test_pool_archive_matches_sequential_archive(tmp_path, tiny_config):
+    import numpy as np
+
+    LocalRunner().run(tiny_config, archive_dir=tmp_path / "seq")
+    with LocalRunner(n_workers=2) as runner:
+        runner.run(tiny_config, archive_dir=tmp_path / "pool")
+    seq_files = sorted((tmp_path / "seq").rglob("*.npz"))
+    assert seq_files
+    for seq_path in seq_files:
+        pool_path = next((tmp_path / "pool").rglob(seq_path.name))
+        with np.load(seq_path) as a, np.load(pool_path) as b:
+            assert set(a.files) == set(b.files)
+            for field in a.files:
+                assert np.array_equal(a[field], b[field])
+
+
+def test_pool_reuses_published_bank(tiny_config):
+    with LocalRunner(n_workers=2) as runner:
+        first = runner.run(tiny_config)
+        assert len(runner._published) == 1
+        second = runner.run(tiny_config)
+        assert len(runner._published) == 1  # same key, no republish
+        assert first.pgd_by_rupture == second.pgd_by_rupture
+        # Warm cache: the second run's Phase B is a pure lookup.
+        assert runner.gf_cache.stats.hits >= 1
+
+
+def test_close_is_idempotent(tiny_config):
+    runner = LocalRunner(n_workers=2)
+    runner.run(tiny_config)
+    runner.close()
+    runner.close()
+
+
+def test_runners_share_gf_cache(tiny_config):
+    from repro.core.gfcache import GFCache
+
+    cache = GFCache()
+    LocalRunner(gf_cache=cache).run(tiny_config)
+    assert cache.stats.misses == 1
+    LocalRunner(gf_cache=cache).run(tiny_config)
+    assert cache.stats.misses == 1  # second runner hits the shared cache
+    assert cache.stats.memory_hits >= 1
+
+
+# -- estimate_sequential_runtime_s validation ---------------------------------
+
+
+class _FakeStationsConfig:
+    """Duck-typed config: FdwConfig itself rejects n_stations < 1 at
+    construction, so the estimator's own guard needs a stand-in."""
+
+    def __init__(self, n_stations):
+        self.n_stations = n_stations
+        self.n_waveforms = 16
+        self.n_subfaults = 450
+        self.chunk_a = 16
+        self.chunk_c = 2
+        self.recycle_distances = True
+        self.name = "fake"
+
+
+@pytest.mark.parametrize("n_stations", [0, -3, None])
+def test_estimate_rejects_nonpositive_stations(n_stations):
+    with pytest.raises(ConfigError, match="n_stations"):
+        estimate_sequential_runtime_s(_FakeStationsConfig(n_stations))

@@ -111,3 +111,13 @@ def test_requests_match_paper_resources():
     # "4 CPU cores ... up to 16GB" (paper section 3).
     assert all(j.request_cpus == 4 for j in plan.all_specs())
     assert plan.b_job.request_memory_mb == 16384
+
+
+def test_gf_product_id_names_the_c_job_input():
+    from repro.core.phases import gf_product_id
+
+    config = FdwConfig(n_waveforms=8, n_stations=4, mesh=(8, 5), name="w")
+    assert gf_product_id(config) == "w_gf.mseed.npz"
+    plan = plan_phases(config)
+    for job in plan.c_jobs:
+        assert gf_product_id(config) in job.input_files

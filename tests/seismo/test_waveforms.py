@@ -144,3 +144,66 @@ def test_synthesizer_validation(small_gf_bank):
         WaveformSynthesizer(small_gf_bank, dt_s=0.0)
     with pytest.raises(WaveformError):
         WaveformSynthesizer(small_gf_bank, duration_s=-5.0)
+
+
+# -- batched synthesis --------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def rupture_batch(rupture_generator):
+    return [
+        rupture_generator.generate(
+            np.random.default_rng(40 + i), rupture_id=f"batch.{i:06d}", target_mw=mw
+        )
+        for i, mw in enumerate([7.6, 8.0, 8.4, 8.9, 9.1])
+    ]
+
+
+def test_batch_bit_identical_to_scalar(small_gf_bank, rupture_batch):
+    synth = WaveformSynthesizer(small_gf_bank)
+    batched = synth.synthesize_batch(rupture_batch)
+    for ws, rupture in zip(batched, rupture_batch):
+        reference = synth.synthesize(rupture)
+        assert ws.rupture_id == reference.rupture_id
+        assert ws.data.shape == reference.data.shape
+        assert np.array_equal(ws.data, reference.data)
+
+
+def test_batch_with_shared_rng_matches_sequential_noise(small_gf_bank, rupture_batch):
+    noise = GnssNoiseModel()
+    batch_synth = WaveformSynthesizer(small_gf_bank, noise=noise)
+    batched = batch_synth.synthesize_batch(
+        rupture_batch, rngs=np.random.default_rng(99)
+    )
+    reference_synth = WaveformSynthesizer(small_gf_bank, noise=noise)
+    rng = np.random.default_rng(99)
+    for ws, rupture in zip(batched, rupture_batch):
+        reference = reference_synth.synthesize(rupture, rng=rng)
+        assert np.array_equal(ws.data, reference.data)
+
+
+def test_batch_with_per_rupture_rngs(small_gf_bank, rupture_batch):
+    noise = GnssNoiseModel()
+    synth = WaveformSynthesizer(small_gf_bank, noise=noise)
+    rngs = [np.random.default_rng(1000 + i) for i in range(len(rupture_batch))]
+    batched = synth.synthesize_batch(rupture_batch, rngs=rngs)
+    for i, (ws, rupture) in enumerate(zip(batched, rupture_batch)):
+        reference = synth.synthesize(rupture, rng=np.random.default_rng(1000 + i))
+        assert np.array_equal(ws.data, reference.data)
+
+
+def test_batch_rng_list_length_mismatch(small_gf_bank, rupture_batch):
+    synth = WaveformSynthesizer(small_gf_bank, noise=GnssNoiseModel())
+    with pytest.raises(WaveformError):
+        synth.synthesize_batch(rupture_batch, rngs=[np.random.default_rng(0)])
+
+
+def test_batch_noise_requires_rng(small_gf_bank, rupture_batch):
+    synth = WaveformSynthesizer(small_gf_bank, noise=GnssNoiseModel())
+    with pytest.raises(WaveformError):
+        synth.synthesize_batch(rupture_batch)
+
+
+def test_batch_empty_list(small_gf_bank):
+    synth = WaveformSynthesizer(small_gf_bank)
+    assert synth.synthesize_batch([]) == []

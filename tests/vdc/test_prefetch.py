@@ -121,3 +121,31 @@ def test_portal_records_queries_and_prefetches():
     # The prefetched product now retrieves at local speed.
     fast = portal.retrieve(waveforms_id, "vdc-psu")
     assert fast < 1.0
+
+
+def test_prefetch_materializes_bank_products(tmp_path, small_gf_bank):
+    """A predicted GF bank is not just replica-marked: its bytes land in
+    the artifact cache's disk store (the durable prefetch)."""
+    from repro.core.gfcache import GFCache
+
+    catalog = DataCatalog()
+    storage = FederatedStorage(
+        [StorageSite("origin"), StorageSite("home")],
+        artifact_cache=GFCache(cache_dir=tmp_path / "gfstore"),
+    )
+    record = ProductRecord(
+        product_id="w_gf.mseed.npz",
+        kind="gf_bank",
+        site="origin",
+        size_mb=1.0,
+        tags=frozenset({"chile"}),
+    )
+    catalog.deposit(record)
+    storage.store_bank(record.product_id, small_gf_bank, "origin")
+    service = PrefetchService(catalog, storage)
+    service.record_query(QueryEvent(home_site="home", kind="gf_bank"))
+    placed = service.prefetch("home")
+    assert placed == ["w_gf.mseed.npz"]
+    assert "home" in storage.replicas("w_gf.mseed.npz")
+    on_disk = list((tmp_path / "gfstore").glob("gf_*.npz"))
+    assert len(on_disk) == 1

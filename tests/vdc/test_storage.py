@@ -114,3 +114,76 @@ def test_validation():
     fed = federation()
     with pytest.raises(StorageError):
         fed.store("neg", -1.0, "a")
+
+
+# -- bank-valued products routed through the GF cache -------------------------
+
+
+def bank_federation(tmp_path):
+    from repro.core.gfcache import GFCache
+
+    return FederatedStorage(
+        [
+            StorageSite("origin", capacity_mb=10000.0),
+            StorageSite("home", capacity_mb=10000.0),
+        ],
+        artifact_cache=GFCache(cache_dir=tmp_path / "gfstore"),
+    )
+
+
+def test_store_bank_places_replica_and_bytes(tmp_path, small_gf_bank):
+    fed = bank_federation(tmp_path)
+    size_mb = fed.store_bank("w_gf.mseed.npz", small_gf_bank, "origin")
+    assert size_mb == pytest.approx(small_gf_bank.nbytes / (1024.0 * 1024.0))
+    assert fed.replicas("w_gf.mseed.npz") == {"origin"}
+    assert fed.usage_mb("origin") == pytest.approx(size_mb)
+    assert fed.bank_key("w_gf.mseed.npz") is not None
+
+
+def test_fetch_bank_returns_identical_bank_and_charges_time(
+    tmp_path, small_gf_bank
+):
+    import numpy as np
+
+    fed = bank_federation(tmp_path)
+    fed.store_bank("w_gf.mseed.npz", small_gf_bank, "origin")
+    bank, elapsed = fed.fetch_bank("w_gf.mseed.npz", "home")
+    assert np.array_equal(bank.statics, small_gf_bank.statics)
+    assert np.array_equal(bank.travel_time_s, small_gf_bank.travel_time_s)
+    assert elapsed > 0  # WAN transfer charged
+    # The retrieval left a cached replica: a refetch is a fast local read.
+    assert "home" in fed.replicas("w_gf.mseed.npz")
+    _, local = fed.fetch_bank("w_gf.mseed.npz", "home")
+    assert local < elapsed
+
+
+def test_store_bank_shares_content_key_with_producers(tmp_path, small_gf_bank,
+                                                      small_geometry, small_network):
+    from repro.core.gfcache import GFCache, gf_bank_key
+
+    cache = GFCache(cache_dir=tmp_path / "shared")
+    fed = FederatedStorage([StorageSite("origin")], artifact_cache=cache)
+    key = gf_bank_key(small_geometry, small_network)
+    fed.store_bank("w_gf.mseed.npz", small_gf_bank, "origin", key=key)
+    # An in-process consumer asking for the same inputs hits the entry
+    # the VDC stored — one implementation, one namespace.
+    warm = cache.get_or_compute(small_geometry, small_network)
+    assert warm is small_gf_bank
+    assert cache.stats.memory_hits == 1
+
+
+def test_materialize_writes_disk_store(tmp_path, small_gf_bank):
+    fed = bank_federation(tmp_path)
+    fed.store_bank("w_gf.mseed.npz", small_gf_bank, "origin")
+    path = fed.materialize("w_gf.mseed.npz")
+    assert path is not None and path.exists()
+    assert fed.materialize("plain-product") is None  # no bank attached
+
+
+def test_bank_methods_require_cache(small_gf_bank):
+    fed = federation()
+    with pytest.raises(StorageError):
+        fed.store_bank("p", small_gf_bank, "a")
+    fed.store("p", 1.0, "a")
+    with pytest.raises(StorageError):
+        fed.fetch_bank("p", "a")

@@ -9,7 +9,12 @@ The ``gf-cache`` and ``phase-c-pool`` groups track the GF reuse
 subsystem: cold vs. warm :class:`~repro.core.gfcache.GFCache` lookups,
 batched vs. per-rupture Phase-C synthesis, and the seed pool path
 (every worker rebuilds the bank per chunk) against the shared-memory
-pool. ``FDW_BENCH_SCALE`` shrinks the workload for smoke runs; pass
+pool. The ``phase-a-kernel`` / ``phase-a-cache`` / ``phase-a-pool``
+groups track the Phase-A acceleration stack the same way: the dense
+von Kármán evaluation against the unique-lag kernel, cold vs. warm
+:class:`~repro.seismo.klcache.KLCache` lookups, and the seed sequential
+rupture sweep (dense kernel, no cache) against the pooled + memoized
+fan-out. ``FDW_BENCH_SCALE`` shrinks the workload for smoke runs; pass
 ``--benchmark-json BENCH_kernels.json`` to persist the numbers (the CI
 smoke job archives that artifact).
 """
@@ -18,6 +23,8 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
+from functools import partial
+from unittest import mock
 
 import numpy as np
 import pytest
@@ -27,10 +34,13 @@ from repro.core.config import FdwConfig
 from repro.core.gfcache import GFCache
 from repro.core.local import LocalRunner, _fakequakes_for, _run_c_chunk
 from repro.core.phases import chunk_bounds
+import repro.seismo.ruptures as ruptures_mod
 from repro.seismo.distance import DistanceMatrices
 from repro.seismo.geometry import build_chile_slab
 from repro.seismo.greens import compute_gf_bank
-from repro.seismo.ruptures import RuptureGenerator
+from repro.seismo.klcache import KLCache
+from repro.seismo.ruptures import Rupture, RuptureGenerator
+from repro.seismo.spectra import von_karman_correlation
 from repro.seismo.stations import chilean_network
 from repro.seismo.waveforms import WaveformSynthesizer
 
@@ -225,6 +235,203 @@ def test_phase_c_pool_shared_bank(benchmark, pool_config, tmp_path):
         for i in range(pool_config.n_waveforms)
     ]
     assert new_maxima == seed_maxima
+
+
+# -- Phase A kernel: dense vs unique-lag von Kármán ---------------------------
+
+
+@pytest.fixture(scope="module")
+def paper_distances():
+    """Distance matrices of the paper-scale 30x15 mesh (450 subfaults)."""
+    return DistanceMatrices.from_geometry(build_chile_slab(n_strike=30, n_dip=15))
+
+
+@pytest.mark.benchmark(group="phase-a-kernel")
+def test_phase_a_kernel_dense(benchmark, paper_distances):
+    """Seed evaluation: one ``kv`` call per matrix element (p^2)."""
+    corr = benchmark(
+        von_karman_correlation,
+        paper_distances.along_strike,
+        paper_distances.down_dip,
+        60.0,
+        30.0,
+        0.75,
+        False,
+    )
+    assert corr.shape == (450, 450)
+
+
+@pytest.mark.benchmark(group="phase-a-kernel")
+def test_phase_a_kernel_unique_lag(benchmark, paper_distances):
+    """Unique-lag evaluation: one ``kv`` call per distinct separation."""
+    corr = benchmark(
+        von_karman_correlation,
+        paper_distances.along_strike,
+        paper_distances.down_dip,
+        60.0,
+        30.0,
+        0.75,
+        True,
+    )
+    dense = von_karman_correlation(
+        paper_distances.along_strike,
+        paper_distances.down_dip,
+        60.0,
+        30.0,
+        unique_lags=False,
+    )
+    assert np.array_equal(corr, dense)  # bit-identical products
+
+
+# -- Phase A cache: cold vs warm K-L basis lookups ----------------------------
+
+
+@pytest.fixture(scope="module")
+def kl_patch(paper_distances):
+    """A 20x10 rupture-patch window on the 30x15 mesh."""
+    strike_rows = np.arange(4, 24)
+    dip_cols = np.arange(2, 12)
+    return (strike_rows[:, None] * 15 + dip_cols[None, :]).ravel()
+
+
+@pytest.mark.benchmark(group="phase-a-cache")
+def test_kl_cache_cold(benchmark, paper_distances, kl_patch):
+    """Cold lookup: every round builds the correlation and eigensolves."""
+
+    def cold():
+        cache = KLCache()
+        return cache.get_or_compute(paper_distances, kl_patch, 60.0, 30.0, n_modes=64)
+
+    basis = benchmark(cold)
+    assert basis.n_points == kl_patch.size
+
+
+@pytest.mark.benchmark(group="phase-a-cache")
+def test_kl_cache_warm_disk(benchmark, paper_distances, kl_patch, tmp_path):
+    """Warm disk hit: memory level dropped, basis reloaded from .npz."""
+    cache = KLCache(cache_dir=tmp_path / "kl")
+    cache.get_or_compute(paper_distances, kl_patch, 60.0, 30.0, n_modes=64)
+
+    def warm():
+        cache.clear()  # keep the disk store, drop memory
+        return cache.get_or_compute(paper_distances, kl_patch, 60.0, 30.0, n_modes=64)
+
+    basis = benchmark(warm)
+    assert cache.stats.disk_hits >= 1
+    assert basis.n_modes == 64
+
+
+@pytest.mark.benchmark(group="phase-a-cache")
+def test_kl_cache_warm_memory(benchmark, paper_distances, kl_patch):
+    """Warm memory hit: the LRU returns the resident basis."""
+    cache = KLCache()
+    cache.get_or_compute(paper_distances, kl_patch, 60.0, 30.0, n_modes=64)
+    basis = benchmark(
+        cache.get_or_compute, paper_distances, kl_patch, 60.0, 30.0, 0.75, 64
+    )
+    assert basis.n_modes == 64
+
+
+# -- Phase A pool: seed sequential sweep vs pooled + memoized -----------------
+
+
+@pytest.fixture(scope="module")
+def a_pool_config():
+    s = bench_scale()
+    return FdwConfig(
+        name="bench_a_pool",
+        n_waveforms=max(16, int(round(64 * s))),
+        n_stations=4,
+        mesh=(max(8, int(round(30 * s))), max(5, int(round(15 * s)))),
+        chunk_a=4,
+        chunk_c=8,
+        seed=7,
+    )
+
+
+def _seed_a_phase(config: FdwConfig) -> list[Rupture]:
+    """Faithful reproduction of the seed Phase-A path: dense von Kármán
+    kernel (one ``kv`` call per matrix element), no K-L cache, strictly
+    sequential chunk loop."""
+    fq = _fakequakes_for(config)
+    fq.phase_a_distances()
+    dense = partial(von_karman_correlation, unique_lags=False)
+    with mock.patch.object(ruptures_mod, "von_karman_correlation", dense):
+        ruptures: list[Rupture] = []
+        for start, count in chunk_bounds(config.n_waveforms, config.chunk_a):
+            ruptures.extend(fq.phase_a_ruptures(start, count))
+    return ruptures
+
+
+def _assert_same_catalog(actual: list[Rupture], expected: list[Rupture]) -> None:
+    """Rupture-for-rupture bit-identity: ids, slip, kinematics."""
+    assert len(actual) == len(expected)
+    for a, b in zip(actual, expected):
+        assert a.rupture_id == b.rupture_id
+        assert np.array_equal(a.subfault_indices, b.subfault_indices)
+        assert np.array_equal(a.slip_m, b.slip_m)
+        assert np.array_equal(a.rise_time_s, b.rise_time_s)
+        assert np.array_equal(a.onset_time_s, b.onset_time_s)
+        assert a.hypocenter_index == b.hypocenter_index
+
+
+@pytest.mark.benchmark(group="phase-a-pool")
+def test_phase_a_pool_seed_path(benchmark, a_pool_config):
+    ruptures = benchmark(_seed_a_phase, a_pool_config)
+    assert len(ruptures) == a_pool_config.n_waveforms
+
+
+@pytest.mark.benchmark(group="phase-a-pool")
+def test_phase_a_pool_memoized(benchmark, a_pool_config, tmp_path):
+    """Persistent pool + per-worker sessions + shared disk K-L store
+    (warm: the sweep's bases were eigensolved on the first pass)."""
+    from repro.core.local import _run_a_chunk
+
+    params = _fakequakes_for(a_pool_config).params
+    kl_dir = str(tmp_path / "kl")
+    tasks = [
+        (params, start, count, kl_dir)
+        for start, count in chunk_bounds(a_pool_config.n_waveforms, a_pool_config.chunk_a)
+    ]
+
+    with ProcessPoolExecutor(max_workers=POOL_WORKERS) as pool:
+
+        def pooled():
+            return [r for chunk in pool.map(_run_a_chunk, tasks) for r in chunk]
+
+        pooled()  # warm the worker sessions and the disk K-L store
+        ruptures = benchmark(pooled)
+    # Rupture-for-rupture identical to the seed sequential sweep.
+    _assert_same_catalog(ruptures, _seed_a_phase(a_pool_config))
+
+
+def test_phase_a_speedup_report(a_pool_config, tmp_path, capsys):
+    """One-shot before/after comparison of the Phase-A sweep (not a
+    pytest-benchmark timing; runs even with --benchmark-disable)."""
+    t0 = time.perf_counter()
+    seed_ruptures = _seed_a_phase(a_pool_config)
+    seed_s = time.perf_counter() - t0
+
+    with LocalRunner(
+        n_workers=POOL_WORKERS, kl_cache=KLCache(cache_dir=tmp_path / "kl")
+    ) as runner:
+        cold = runner.run(a_pool_config)  # fills the shared disk K-L store
+        warm = runner.run(a_pool_config)
+    cold_a_s = cold.phase_seconds["A"]
+    warm_a_s = warm.phase_seconds["A"]
+    assert len(warm.pgd_by_rupture) == len(seed_ruptures)
+
+    with capsys.disabled():
+        print(
+            f"\n### Phase-A sweep ({a_pool_config.n_waveforms} ruptures, "
+            f"{a_pool_config.mesh[0]}x{a_pool_config.mesh[1]} mesh, "
+            f"{POOL_WORKERS} workers)\n"
+            f"seed A phase (dense kernel, sequential)  : {seed_s:8.3f} s\n"
+            f"pooled A phase (cold K-L store)          : {cold_a_s:8.3f} s "
+            f"({seed_s / cold_a_s:5.2f}x)\n"
+            f"pooled A phase (warm K-L store)          : {warm_a_s:8.3f} s "
+            f"({seed_s / warm_a_s:5.2f}x)"
+        )
 
 
 def test_phase_c_pool_speedup_report(pool_config, tmp_path, capsys):

@@ -45,6 +45,7 @@ from repro.core.phases import chunk_bounds, plan_phases
 from repro.osg.runtimes import RuntimeModel
 from repro.rng import RngFactory
 from repro.seismo.fakequakes import FakeQuakes, FakeQuakesParameters
+from repro.seismo.klcache import KLCache
 from repro.seismo.mudpy_io import ProductArchive, write_rupt
 from repro.seismo.ruptures import Rupture
 from repro.seismo.waveforms import GnssNoiseModel, WaveformSynthesizer
@@ -68,7 +69,11 @@ class LocalRunResult:
         return sum(self.phase_seconds.values())
 
 
-def _fakequakes_for(config: FdwConfig, gf_cache: GFCache | None = None) -> FakeQuakes:
+def _fakequakes_for(
+    config: FdwConfig,
+    gf_cache: GFCache | None = None,
+    kl_cache: KLCache | None = None,
+) -> FakeQuakes:
     params = FakeQuakesParameters(
         n_ruptures=config.n_waveforms,
         n_stations=config.n_stations,
@@ -76,7 +81,7 @@ def _fakequakes_for(config: FdwConfig, gf_cache: GFCache | None = None) -> FakeQ
         mesh=config.mesh,
         seed=config.seed,
     )
-    return FakeQuakes.from_parameters(params, gf_cache=gf_cache)
+    return FakeQuakes.from_parameters(params, gf_cache=gf_cache, kl_cache=kl_cache)
 
 
 def _run_c_chunk(args: tuple[FdwConfig, int, int]) -> list[float]:
@@ -94,6 +99,38 @@ def _run_c_chunk(args: tuple[FdwConfig, int, int]) -> list[float]:
     ruptures = fq.phase_a_ruptures(start, count)
     sets = fq.phase_c_waveforms(ruptures)
     return [float(ws.pgd_m().max()) for ws in sets]
+
+
+#: Pool task for one Phase-A chunk: (parameters, start, count, K-L dir).
+_AChunkTask = tuple[FakeQuakesParameters, int, int, "str | None"]
+
+#: Worker-side Phase-A session cache: (parameters, K-L dir) -> FakeQuakes.
+#: Kept for the life of the worker process so geometry, distance
+#: matrices, the rupture generator and its K-L basis cache are built
+#: once per worker, not once per chunk (the Phase-A analog of the
+#: cached shared-bank attachment below).
+_A_SESSIONS: dict[tuple[FakeQuakesParameters, str | None], FakeQuakes] = {}
+
+
+def _run_a_chunk(task: _AChunkTask) -> list[Rupture]:
+    """Worker: generate one Phase-A rupture chunk.
+
+    Safe to fan out because :meth:`FakeQuakes.phase_a_ruptures` derives
+    an independent RNG from each rupture's *catalog index* — chunk
+    [start, start+count) produces the identical ruptures in any process,
+    so the pooled catalog is bit-identical to the sequential one. Each
+    worker keeps its session for the life of the process, with an
+    exact-mode K-L cache over ``kl_dir`` (the runner's disk store) —
+    a basis eigendecomposed by *any* worker is a disk hit for every
+    other worker and every later run of the same configuration.
+    """
+    params, start, count, kl_dir = task
+    fq = _A_SESSIONS.get((params, kl_dir))
+    if fq is None:
+        fq = FakeQuakes.from_parameters(params, kl_cache=KLCache(cache_dir=kl_dir))
+        fq.phase_a_distances()
+        _A_SESSIONS[(params, kl_dir)] = fq
+    return fq.phase_a_ruptures(start, count)
 
 
 #: Pool task: (shared-bank handle, parameters, rupture chunk, spool dir).
@@ -159,13 +196,21 @@ class LocalRunner:
     ----------
     n_workers:
         1 (default) mirrors MudPy's native sequential behaviour; >1
-        fans C chunks out over a persistent process pool that reads one
-        shared-memory copy of the GF bank (see module docstring).
+        fans A chunks out over a persistent process pool (each worker
+        caching its Phase-A session) and C chunks over the same pool
+        reading one shared-memory copy of the GF bank (see module
+        docstring). Both pooled phases are bit-identical to sequential.
     gf_cache:
         The :class:`~repro.core.gfcache.GFCache` Phase B routes
         through. ``None`` builds a private cache (which still honours
         ``REPRO_GF_CACHE_DIR``); pass a shared instance to reuse banks
         across runners.
+    kl_cache:
+        The :class:`~repro.seismo.klcache.KLCache` the *parent-side*
+        Phase A routes through (sequential runs and the single-chunk
+        fall-through). ``None`` builds a private exact-mode cache
+        (which still honours ``REPRO_KL_CACHE_DIR``). Pool workers
+        always build their own per-process exact-mode caches.
 
     The pool and the published shared-memory segments persist across
     :meth:`run` calls — repeated runs of the same configuration skip
@@ -174,11 +219,17 @@ class LocalRunner:
     to release them; a finalizer also releases on garbage collection.
     """
 
-    def __init__(self, n_workers: int = 1, gf_cache: GFCache | None = None) -> None:
+    def __init__(
+        self,
+        n_workers: int = 1,
+        gf_cache: GFCache | None = None,
+        kl_cache: KLCache | None = None,
+    ) -> None:
         if n_workers < 1:
             raise ConfigError(f"n_workers must be >= 1, got {n_workers}")
         self.n_workers = n_workers
         self.gf_cache = gf_cache if gf_cache is not None else GFCache()
+        self.kl_cache = kl_cache if kl_cache is not None else KLCache()
         self._published: dict[str, SharedBankHandle] = {}
         self._state: dict = {"pool": None, "segments": []}
         self._finalizer = weakref.finalize(self, _release_state, self._state)
@@ -216,7 +267,7 @@ class LocalRunner:
         self, config: FdwConfig, archive_dir: str | Path | None = None
     ) -> LocalRunResult:
         """Execute all three phases; optionally archive the products."""
-        fq = _fakequakes_for(config, gf_cache=self.gf_cache)
+        fq = _fakequakes_for(config, gf_cache=self.gf_cache, kl_cache=self.kl_cache)
         timings: dict[str, float] = {}
         archive = (
             ProductArchive(Path(archive_dir), name=config.name)
@@ -229,9 +280,27 @@ class LocalRunner:
         timings["dist"] = time.perf_counter() - t0
 
         t0 = time.perf_counter()
-        ruptures = []
-        for start, count in chunk_bounds(config.n_waveforms, config.chunk_a):
-            ruptures.extend(fq.phase_a_ruptures(start, count))
+        ruptures: list[Rupture] = []
+        a_chunks = chunk_bounds(config.n_waveforms, config.chunk_a)
+        if self.n_workers == 1 or len(a_chunks) == 1:
+            for start, count in a_chunks:
+                ruptures.extend(fq.phase_a_ruptures(start, count))
+        else:
+            # Pooled Phase-A fan-out: per-index RNG keying makes chunks
+            # process-independent, so the catalog is bit-identical to
+            # the sequential loop above (ids, slip, kinematics). Workers
+            # share the runner's disk K-L store when one is configured.
+            pool = self._ensure_pool()
+            kl_dir = (
+                str(self.kl_cache.cache_dir)
+                if self.kl_cache.cache_dir is not None
+                else None
+            )
+            a_tasks: list[_AChunkTask] = [
+                (fq.params, start, count, kl_dir) for start, count in a_chunks
+            ]
+            for chunk in pool.map(_run_a_chunk, a_tasks):
+                ruptures.extend(chunk)
         timings["A"] = time.perf_counter() - t0
 
         t0 = time.perf_counter()

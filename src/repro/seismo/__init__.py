@@ -26,6 +26,7 @@ from repro.seismo.distance import DistanceMatrices
 from repro.seismo.fakequakes import FakeQuakes, FakeQuakesParameters
 from repro.seismo.geometry import FaultGeometry, build_cascadia_slab, build_chile_slab
 from repro.seismo.greens import GreensFunctionBank, compute_gf_bank
+from repro.seismo.klcache import KLCache, kl_basis_key
 from repro.seismo.okada import compute_okada_gf_bank, okada85
 from repro.seismo.ruptures import Rupture, RuptureGenerator
 from repro.seismo.stations import Station, StationNetwork, chilean_network
@@ -42,6 +43,8 @@ __all__ = [
     "compute_gf_bank",
     "compute_okada_gf_bank",
     "okada85",
+    "KLCache",
+    "kl_basis_key",
     "Rupture",
     "RuptureGenerator",
     "Station",

@@ -15,7 +15,9 @@ and down dip.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
+from functools import cached_property
 from pathlib import Path
 
 import numpy as np
@@ -64,6 +66,22 @@ class DistanceMatrices:
         """Euclidean combination sqrt(Dstrike^2 + Ddip^2)."""
         return np.hypot(self.along_strike, self.down_dip)
 
+    @cached_property
+    def content_digest(self) -> str:
+        """sha256 over both matrices' bytes (computed once per instance).
+
+        This is the geometry component of the K-L basis cache key
+        (:func:`repro.seismo.klcache.kl_basis_key`): two meshes whose
+        recycled ``.npy`` pairs are byte-equal share K-L cache entries,
+        any geometry change invalidates them.
+        """
+        h = hashlib.sha256()
+        h.update(b"distances-v1\x1f")
+        h.update(np.int64([self.n_subfaults]).tobytes())
+        h.update(np.ascontiguousarray(self.along_strike, dtype=np.float64).tobytes())
+        h.update(np.ascontiguousarray(self.down_dip, dtype=np.float64).tobytes())
+        return h.hexdigest()
+
     # -- construction --------------------------------------------------------
 
     @classmethod
@@ -75,8 +93,7 @@ class DistanceMatrices:
         separation accumulates the on-interface mesh spacing between
         down-dip rows, which handles the dip steepening correctly.
         """
-        east, north, depth = geometry.enu()
-        del east  # strike separation is along-strike only
+        _, north, _ = geometry.enu()  # strike separation is along-strike only
         n = geometry.n_subfaults
 
         # Along-strike: |north_i - north_j| (vectorized outer difference).
@@ -92,9 +109,7 @@ class DistanceMatrices:
         arc = arc_mid[dip_idx]
         d_dip = np.abs(arc[:, None] - arc[None, :])
 
-        # Sanity: zero diagonal, symmetric by construction.
-        assert d_strike.shape == (n, n) and d_dip.shape == (n, n)
-        del depth
+        # __post_init__ validates shapes, symmetry and non-negativity.
         return cls(along_strike=d_strike, down_dip=d_dip)
 
     # -- the recyclable .npy pair --------------------------------------------

@@ -26,6 +26,7 @@ from repro.rng import RngFactory
 from repro.seismo.distance import DistanceMatrices
 from repro.seismo.geometry import FaultGeometry, build_chile_slab
 from repro.seismo.greens import GreensFunctionBank, compute_gf_bank
+from repro.seismo.klcache import KLCache
 from repro.seismo.ruptures import Rupture, RuptureGenerator
 from repro.seismo.stations import StationNetwork, chilean_network
 from repro.seismo.waveforms import GnssNoiseModel, WaveformSet, WaveformSynthesizer
@@ -103,19 +104,25 @@ class FakeQuakes:
     network: StationNetwork
     rngs: RngFactory = field(default_factory=RngFactory)
     gf_cache: "GFCache | None" = field(default=None, repr=False)
+    kl_cache: KLCache | None = field(default=None, repr=False)
     _distances: DistanceMatrices | None = field(default=None, repr=False)
     _generator: RuptureGenerator | None = field(default=None, repr=False)
     _gf_bank: GreensFunctionBank | None = field(default=None, repr=False)
 
     @classmethod
     def from_parameters(
-        cls, params: FakeQuakesParameters, gf_cache: "GFCache | None" = None
+        cls,
+        params: FakeQuakesParameters,
+        gf_cache: "GFCache | None" = None,
+        kl_cache: KLCache | None = None,
     ) -> "FakeQuakes":
         """Standard construction: Chilean slab + synthetic network.
 
         ``gf_cache`` routes Phase B through a shared
         :class:`~repro.core.gfcache.GFCache` so the bank is computed at
-        most once per (geometry, network, model) content key.
+        most once per (geometry, network, model) content key;
+        ``kl_cache`` does the same for Phase A's per-patch K-L bases
+        (:class:`~repro.seismo.klcache.KLCache`).
         """
         geometry = build_chile_slab(n_strike=params.mesh[0], n_dip=params.mesh[1])
         network = chilean_network(params.n_stations)
@@ -125,6 +132,7 @@ class FakeQuakes:
             network=network,
             rngs=RngFactory(params.seed),
             gf_cache=gf_cache,
+            kl_cache=kl_cache,
         )
 
     # -- Phase A -------------------------------------------------------------
@@ -149,6 +157,7 @@ class FakeQuakes:
                 self.geometry,
                 distances=self.phase_a_distances(),
                 mw_range=self.params.mw_range,
+                kl_cache=self.kl_cache,
             )
         return self._generator
 

@@ -36,6 +36,7 @@ from repro.errors import RuptureError
 from repro.seismo.distance import DistanceMatrices
 from repro.seismo.geometry import FaultGeometry
 from repro.seismo.kinematics import onset_times, rise_times
+from repro.seismo.klcache import KLCache
 from repro.seismo.scaling import (
     SUBDUCTION_INTERFACE,
     ScalingLaw,
@@ -139,6 +140,12 @@ class RuptureGenerator:
         (realistic seismicity; see :mod:`repro.seismo.catalog`).
     b_value:
         Gutenberg-Richter slope when that law is selected.
+    kl_cache:
+        Optional :class:`~repro.seismo.klcache.KLCache` that memoizes
+        the per-patch K-L eigendecomposition (the dominant per-rupture
+        cost). ``None`` computes every basis directly; an exact-mode
+        cache is bit-identical to the direct path, a quantized cache
+        trades numerics for hit rate (see the cache docs).
     """
 
     def __init__(
@@ -152,6 +159,7 @@ class RuptureGenerator:
         slip_cv: float = 0.55,
         magnitude_law: str = "uniform",
         b_value: float = 1.0,
+        kl_cache: KLCache | None = None,
     ) -> None:
         if mw_range[0] > mw_range[1]:
             raise RuptureError(f"invalid magnitude range {mw_range}")
@@ -178,6 +186,7 @@ class RuptureGenerator:
         self.hurst = float(hurst)
         self.n_kl_modes = n_kl_modes
         self.slip_cv = float(slip_cv)
+        self.kl_cache = kl_cache
         # Cache ENU coordinates; reused by every rupture.
         self._east, self._north, self._depth = geometry.enu()
 
@@ -223,11 +232,16 @@ class RuptureGenerator:
         # Hayes 2019-style fractional lengths).
         corr_s = max(1e-3, 0.38 * length_km)
         corr_d = max(1e-3, 0.27 * width_km)
-        d_s = self.distances.along_strike[np.ix_(patch, patch)]
-        d_d = self.distances.down_dip[np.ix_(patch, patch)]
-        corr = von_karman_correlation(d_s, d_d, corr_s, corr_d, self.hurst)
         k = None if self.n_kl_modes is None else min(self.n_kl_modes, patch.size)
-        basis = KarhunenLoeveBasis.from_correlation(corr, n_modes=k)
+        if self.kl_cache is not None:
+            basis = self.kl_cache.get_or_compute(
+                self.distances, patch, corr_s, corr_d, hurst=self.hurst, n_modes=k
+            )
+        else:
+            d_s = self.distances.along_strike[np.ix_(patch, patch)]
+            d_d = self.distances.down_dip[np.ix_(patch, patch)]
+            corr = von_karman_correlation(d_s, d_d, corr_s, corr_d, self.hurst)
+            basis = KarhunenLoeveBasis.from_correlation(corr, n_modes=k)
         gaussian = basis.sample(rng)
 
         # Lognormal positivity transform with configured heterogeneity.
@@ -338,6 +352,16 @@ class RuptureGenerator:
 
         This is the Phase-A kernel: an FDW A-phase job calls this with
         its chunk size and chunk-specific RNG.
+
+        .. note::
+           Because every rupture advances the *single* sequential
+           ``rng``, this method is intentionally **not**
+           partition-invariant: generating [0, k) and [k, n) with two
+           calls does not reproduce one [0, n) call unless the caller
+           re-keys the second stream. Catalog-level partition invariance
+           lives one layer up in
+           :meth:`repro.seismo.fakequakes.FakeQuakes.phase_a_ruptures`,
+           which derives an independent RNG per catalog index.
         """
         if count < 0:
             raise RuptureError(f"count must be >= 0, got {count}")

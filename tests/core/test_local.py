@@ -172,6 +172,91 @@ def test_runners_share_gf_cache(tiny_config):
     assert cache.stats.memory_hits >= 1
 
 
+# -- pooled Phase A -----------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def pooled_a_config():
+    """Enough A chunks (4) that n_workers=2 really fans out."""
+    return FdwConfig(
+        n_waveforms=8, n_stations=3, mesh=(8, 5), chunk_a=2, chunk_c=4, name="pool_a"
+    )
+
+
+def test_pooled_phase_a_matches_sequential(pooled_a_config):
+    """Pooled Phase A must reproduce the sequential catalog rupture-for-
+    rupture — same ids, slip and kinematics, hence identical archives."""
+    import numpy as np
+
+    from repro.core.local import _fakequakes_for, _run_a_chunk
+    from repro.core.phases import chunk_bounds
+
+    fq = _fakequakes_for(pooled_a_config)
+    fq.phase_a_distances()
+    reference = fq.phase_a_ruptures(0, pooled_a_config.n_waveforms)
+    pooled = []
+    for start, count in chunk_bounds(
+        pooled_a_config.n_waveforms, pooled_a_config.chunk_a
+    ):
+        pooled.extend(_run_a_chunk((fq.params, start, count, None)))
+    assert len(pooled) == len(reference)
+    for a, b in zip(pooled, reference):
+        assert a.rupture_id == b.rupture_id
+        assert np.array_equal(a.subfault_indices, b.subfault_indices)
+        assert np.array_equal(a.slip_m, b.slip_m)
+        assert np.array_equal(a.rise_time_s, b.rise_time_s)
+        assert np.array_equal(a.onset_time_s, b.onset_time_s)
+        assert a.hypocenter_index == b.hypocenter_index
+
+
+def test_pooled_run_matches_sequential_run(pooled_a_config):
+    """End-to-end: a pooled run (A and C fan out over the pool) produces
+    the sequential run's products."""
+    sequential = LocalRunner().run(pooled_a_config)
+    with LocalRunner(n_workers=2) as runner:
+        pooled = runner.run(pooled_a_config)
+    assert pooled.pgd_by_rupture == sequential.pgd_by_rupture
+
+
+def test_pooled_a_rupt_archives_match(tmp_path, pooled_a_config):
+    """The .rupt products (slip + kinematics serialized per subfault)
+    are byte-identical between sequential and pooled Phase A."""
+    LocalRunner().run(pooled_a_config, archive_dir=tmp_path / "seq")
+    with LocalRunner(n_workers=2) as runner:
+        runner.run(pooled_a_config, archive_dir=tmp_path / "pool")
+    seq_files = sorted((tmp_path / "seq").rglob("*.rupt"))
+    assert len(seq_files) == pooled_a_config.n_waveforms
+    for seq_path in seq_files:
+        pool_path = next((tmp_path / "pool").rglob(seq_path.name))
+        assert pool_path.read_bytes() == seq_path.read_bytes()
+
+
+def test_pooled_a_workers_share_disk_kl_store(tmp_path, pooled_a_config):
+    """With a disk-backed KLCache, the pooled A phase persists bases the
+    workers (and later runs) reuse."""
+    from repro.seismo.klcache import KLCache
+
+    cache = KLCache(cache_dir=tmp_path / "kl")
+    with LocalRunner(n_workers=2, kl_cache=cache) as runner:
+        first = runner.run(pooled_a_config)
+        assert cache.disk_keys()  # workers populated the shared store
+        second = runner.run(pooled_a_config)
+    assert first.pgd_by_rupture == second.pgd_by_rupture
+
+
+def test_single_chunk_a_stays_in_parent(tmp_path):
+    """One A chunk -> no fan-out; the parent's own KLCache serves it."""
+    from repro.seismo.klcache import KLCache
+
+    config = FdwConfig(
+        n_waveforms=2, n_stations=3, mesh=(8, 5), chunk_a=2, chunk_c=2, name="one_a"
+    )
+    cache = KLCache(cache_dir=tmp_path / "kl")
+    with LocalRunner(n_workers=2, kl_cache=cache) as runner:
+        runner.run(config)
+    assert cache.stats.misses >= 1  # parent-side cache was exercised
+
+
 # -- estimate_sequential_runtime_s validation ---------------------------------
 
 

@@ -76,6 +76,22 @@ def test_save_load_roundtrip(tmp_path, small_distances):
     np.testing.assert_array_equal(back.down_dip, small_distances.down_dip)
 
 
+def test_content_digest_stable_across_roundtrip(tmp_path, small_distances):
+    """The K-L cache key component survives the .npy recycle: a reloaded
+    pair hashes to the same digest as the freshly built one."""
+    small_distances.save(tmp_path)
+    reloaded = DistanceMatrices.load(tmp_path)
+    assert reloaded.content_digest == small_distances.content_digest
+
+
+def test_content_digest_sensitive_to_values(small_distances):
+    other = DistanceMatrices(
+        along_strike=small_distances.along_strike + 1e-9,
+        down_dip=small_distances.down_dip,
+    )
+    assert other.content_digest != small_distances.content_digest
+
+
 def test_load_missing_raises(tmp_path):
     assert not DistanceMatrices.exists(tmp_path)
     with pytest.raises(GeometryError):

@@ -28,12 +28,38 @@ def test_parameters_validation():
         FakeQuakesParameters(dt_s=0.0)
 
 
+def _assert_identical_ruptures(actual, expected):
+    assert len(actual) == len(expected)
+    for a, b in zip(actual, expected):
+        assert a.rupture_id == b.rupture_id
+        np.testing.assert_array_equal(a.subfault_indices, b.subfault_indices)
+        np.testing.assert_array_equal(a.slip_m, b.slip_m)
+        np.testing.assert_array_equal(a.rise_time_s, b.rise_time_s)
+        np.testing.assert_array_equal(a.onset_time_s, b.onset_time_s)
+        assert a.hypocenter_index == b.hypocenter_index
+
+
 def test_phase_a_chunking_is_partition_invariant(session):
     whole = session.phase_a_ruptures(0, 6)
     split = session.phase_a_ruptures(0, 3) + session.phase_a_ruptures(3, 3)
-    for a, b in zip(whole, split):
-        assert a.rupture_id == b.rupture_id
-        np.testing.assert_array_equal(a.slip_m, b.slip_m)
+    _assert_identical_ruptures(split, whole)
+
+
+@pytest.mark.parametrize("k", [1, 2, 5])
+def test_phase_a_any_split_point_matches_single_call(session, k):
+    """Regression for the docstring claim: [0, k) + [k, n) must equal one
+    [0, n) call for every split point — ids, slip, and kinematics (this
+    is what makes the pooled Phase-A fan-out bit-identical)."""
+    whole = session.phase_a_ruptures(0, 6)
+    split = session.phase_a_ruptures(0, k) + session.phase_a_ruptures(k, 6 - k)
+    _assert_identical_ruptures(split, whole)
+
+
+def test_phase_a_per_rupture_chunks_match_single_call(session):
+    """The finest partition (one rupture per job) is also invariant."""
+    whole = session.phase_a_ruptures(0, 6)
+    split = [r for i in range(6) for r in session.phase_a_ruptures(i, 1)]
+    _assert_identical_ruptures(split, whole)
 
 
 def test_phase_a_chunk_bounds_checked(session):

@@ -66,6 +66,40 @@ def test_hurst_sweep_keeps_valid_correlation(hurst):
     assert np.all(c > 0)
 
 
+def test_unique_lag_matches_dense_bitwise(small_distances):
+    """The unique-lag memoization is an exact optimization: identical
+    float lags give identical kv values, so the scattered-back matrix
+    equals the dense evaluation bit-for-bit."""
+    ds, dd = small_distances.along_strike, small_distances.down_dip
+    for hurst in (0.4, 0.75, 0.9):
+        dense = von_karman_correlation(ds, dd, 45.0, 25.0, hurst, unique_lags=False)
+        fast = von_karman_correlation(ds, dd, 45.0, 25.0, hurst, unique_lags=True)
+        assert np.array_equal(fast, dense)
+
+
+def test_unique_lag_matches_dense_on_patch_window(small_distances):
+    """Same bit-identity on a rupture-patch submatrix (the _sample_slip
+    call shape)."""
+    patch = np.array([0, 1, 2, 6, 7, 8, 12, 13, 14])
+    ds = small_distances.along_strike[np.ix_(patch, patch)]
+    dd = small_distances.down_dip[np.ix_(patch, patch)]
+    dense = von_karman_correlation(ds, dd, 30.0, 20.0, unique_lags=False)
+    fast = von_karman_correlation(ds, dd, 30.0, 20.0, unique_lags=True)
+    assert np.array_equal(fast, dense)
+
+
+def test_unique_lag_default_on_irregular_lags():
+    """Irregular (no repeated lag) inputs still work — unique-lag is a
+    pure memoization, not a mesh assumption."""
+    rng = np.random.default_rng(3)
+    x = np.sort(rng.uniform(0.0, 100.0, 7))
+    ds = np.abs(x[:, None] - x[None, :])
+    dd = np.zeros_like(ds)
+    dense = von_karman_correlation(ds, dd, 30.0, 20.0, unique_lags=False)
+    fast = von_karman_correlation(ds, dd, 30.0, 20.0)
+    assert np.array_equal(fast, dense)
+
+
 def test_kl_eigenvalues_descending_nonnegative(small_distances):
     basis = KarhunenLoeveBasis.from_distances(small_distances, 50.0, 30.0, n_modes=10)
     vals = basis.eigenvalues
@@ -123,6 +157,26 @@ def test_kl_restricted_basis(small_distances):
     assert sub.n_modes == 8
     rng = np.random.default_rng(3)
     assert sub.sample(rng).shape == (3,)
+
+
+def test_kl_restricted_preserves_eigenvalues_and_rows(small_distances):
+    """Restriction keeps the global eigenvalues and picks exactly the
+    requested eigenvector rows (reading the global field on the patch)."""
+    basis = KarhunenLoeveBasis.from_distances(small_distances, 50.0, 30.0, n_modes=8)
+    idx = np.array([5, 1, 9, 1])  # order and repeats must be honoured
+    sub = basis.restricted(idx)
+    np.testing.assert_array_equal(sub.eigenvalues, basis.eigenvalues)
+    np.testing.assert_array_equal(sub.eigenvectors, basis.eigenvectors[idx, :])
+
+
+def test_kl_restricted_sample_reads_global_field(small_distances):
+    """Sampling the restricted basis equals drawing the global field
+    with the same stream and reading it on the patch."""
+    basis = KarhunenLoeveBasis.from_distances(small_distances, 50.0, 30.0, n_modes=8)
+    idx = np.array([0, 3, 7])
+    global_field = basis.sample(np.random.default_rng(11))
+    patch_field = basis.restricted(idx).sample(np.random.default_rng(11))
+    np.testing.assert_allclose(patch_field, global_field[idx])
 
 
 def test_kl_restricted_empty_raises(small_distances):

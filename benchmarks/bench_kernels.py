@@ -21,6 +21,7 @@ smoke job archives that artifact).
 
 from __future__ import annotations
 
+import itertools
 import time
 from concurrent.futures import ProcessPoolExecutor
 from functools import partial
@@ -432,6 +433,132 @@ def test_phase_a_speedup_report(a_pool_config, tmp_path, capsys):
             f"pooled A phase (warm K-L store)          : {warm_a_s:8.3f} s "
             f"({seed_s / warm_a_s:5.2f}x)"
         )
+
+
+# -- Recovery: checkpoint overhead, resume, rescue, log parsing ---------------
+
+
+@pytest.fixture(scope="module")
+def recovery_config():
+    s = bench_scale()
+    return FdwConfig(
+        name="bench_recovery",
+        n_waveforms=max(8, int(round(16 * s))),
+        n_stations=4,
+        mesh=(8, 5),
+        chunk_a=2,
+        chunk_c=2,
+        seed=7,
+    )
+
+
+@pytest.mark.benchmark(group="bench-recovery")
+def test_recovery_plain_run(benchmark, recovery_config, tmp_path):
+    """Baseline: archive directly, no checkpoint manifest."""
+    dirs = (tmp_path / f"plain{i}" for i in itertools.count())
+    with LocalRunner() as runner:
+        result = benchmark(lambda: runner.run(recovery_config, next(dirs)))
+    assert result.n_waveform_sets == recovery_config.n_waveforms
+
+
+@pytest.mark.benchmark(group="bench-recovery")
+def test_recovery_checkpointed_run(benchmark, recovery_config, tmp_path):
+    """Same run with chunk-granular checkpointing + archive reassembly —
+    the overhead budget of crash consistency."""
+    dirs = (tmp_path / f"ck{i}" for i in itertools.count())
+    with LocalRunner() as runner:
+        result = benchmark(
+            lambda: runner.run(recovery_config, next(dirs), checkpoint=True)
+        )
+    assert result.n_waveform_sets == recovery_config.n_waveforms
+    assert result.chunks_skipped == {"A": 0, "C": 0}
+
+
+@pytest.mark.benchmark(group="bench-recovery")
+def test_recovery_resume_after_crash(benchmark, recovery_config, tmp_path):
+    """Resume cost after a mid-Phase-A crash: skipped chunks reload from
+    the checkpoint instead of recomputing."""
+    from repro.core.checkpoint import RunCheckpoint
+    from repro.faults import ChunkCrash, FaultInjected, FaultPlan
+
+    runner = LocalRunner()
+    n_a = len(chunk_bounds(recovery_config.n_waveforms, recovery_config.chunk_a))
+    crashed = iter(range(10**6))
+
+    def crash_once():
+        d = tmp_path / f"crash{next(crashed)}"
+        try:
+            runner.run(
+                recovery_config,
+                d,
+                checkpoint=True,
+                faults=FaultPlan(crashes=(ChunkCrash("A", max(1, n_a - 1)),)),
+            )
+        except FaultInjected:
+            pass
+        return (d,), {}
+
+    def resume(d):
+        return runner.run(recovery_config, d, resume=True)
+
+    result = benchmark.pedantic(resume, setup=crash_once, rounds=3, iterations=1)
+    assert result.chunks_skipped["A"] == max(1, n_a - 1)
+    assert not (result.archive_root / RunCheckpoint.DIRNAME).exists()
+
+
+@pytest.mark.benchmark(group="bench-recovery")
+def test_recovery_rescue_roundtrip(benchmark, tmp_path):
+    """Pool-level rescue at scale: snapshot a half-done engine, read the
+    file back, fast-forward a fresh engine."""
+    from repro.condor.dagfile import DagDescription
+    from repro.condor.dagman import DagmanEngine
+    from repro.condor.jobs import JobPayload, JobSpec
+    from repro.condor.rescue import apply_rescue, read_rescue_file, write_rescue_file
+
+    n_nodes = max(500, int(round(16000 * bench_scale())))
+    dag = DagDescription("bench_rescue")
+    for i in range(n_nodes):
+        dag.add_job(
+            f"n{i}",
+            JobSpec(name=f"n{i}", payload=JobPayload(phase="A", n_items=1, n_stations=2)),
+        )
+    done_engine = DagmanEngine(dag)
+    for i in range(0, n_nodes, 2):
+        done_engine.mark_done(f"n{i}")
+
+    def roundtrip():
+        path = write_rescue_file(done_engine, tmp_path / "bench.dag.rescue001")
+        done = read_rescue_file(path)
+        return apply_rescue(DagmanEngine(dag), done)
+
+    applied = benchmark(roundtrip)
+    assert applied == n_nodes // 2 + n_nodes % 2
+
+
+@pytest.mark.benchmark(group="bench-recovery")
+def test_recovery_log_parse_16k(benchmark):
+    """Parsing a 16k-job user log (the paper's DAG size) stays linear —
+    the quadratic list-scan this replaced made monitoring the bottleneck."""
+    from repro.condor.events import parse_user_log
+
+    n_jobs = max(2000, int(round(16000 * bench_scale())))
+    lines = []
+    for i in range(n_jobs):
+        cluster = f"{i + 1:04d}.000.000"
+        lines += [
+            f"000 ({cluster}) 2023-01-01+0 00:00:01 Job submitted",
+            "...",
+            f"001 ({cluster}) 2023-01-01+0 00:00:02 Job executing",
+            "...",
+            f"005 ({cluster}) 2023-01-01+0 00:10:00 Job terminated.",
+            "\t(1) Normal termination (return value 0)",
+            "...",
+        ]
+    text = "\n".join(lines) + "\n"
+
+    events = benchmark(parse_user_log, text)
+    assert len(events) == 3 * n_jobs
+    assert all(e.return_value == 0 for e in events if e.event_type.value == 5)
 
 
 def test_phase_c_pool_speedup_report(pool_config, tmp_path, capsys):

@@ -103,7 +103,17 @@ class _ReplayState:
     # -- per-second event processing --------------------------------------
 
     def advance_to(self, now: float) -> None:
-        """Process all trace events with timestamps <= t0 + now."""
+        """Process all trace events with timestamps <= t0 + now.
+
+        Raises
+        ------
+        TraceError
+            If ``now <= 0``: the instant-throughput update divides by
+            ``now``, so second 0 is not a valid replay instant (the run
+            loop always starts at second 1).
+        """
+        if now <= 0.0:
+            raise TraceError(f"advance_to requires now > 0, got {now}")
         self.now_s = now
         abs_now = self.t0 + now
         while (

@@ -6,7 +6,11 @@ in a home directory, edit a configuration file, and run a script
 
     python -m repro.cli init fdw.cfg                 # write a template config
     python -m repro.cli run fdw.cfg                  # run on the simulated OSG
+    python -m repro.cli run fdw.cfg --rescue-dir r/  # snapshot rescues on death
+    python -m repro.cli recover fdw.cfg r/fdw.dag.rescue001   # rerun remainder
     python -m repro.cli run fdw.cfg --local          # single-machine control
+    python -m repro.cli run fdw.cfg --local --archive-dir out/ --checkpoint
+    python -m repro.cli run fdw.cfg --local --archive-dir out/ --resume
     python -m repro.cli run fdw.cfg --dagmans 4      # partitioned DAGMans
     python -m repro.cli trace fdw.cfg -o traces/     # export bursting CSVs
     python -m repro.cli burst traces/fdw_batch.csv traces/fdw_jobs.csv \
@@ -45,6 +49,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--local", action="store_true", help="single-machine control")
     p_run.add_argument("--dagmans", type=int, default=1, help="concurrent DAGMans")
     p_run.add_argument("--seed", type=int, default=0, help="pool-side seed")
+    p_run.add_argument(
+        "--rescue-dir", type=Path, default=None,
+        help="write rescue files here if a DAGMan dies (see 'recover')",
+    )
+    p_run.add_argument(
+        "--archive-dir", type=Path, default=None,
+        help="archive the products of a --local run here",
+    )
+    p_run.add_argument(
+        "--checkpoint", action="store_true",
+        help="with --local: keep a chunk-granular checkpoint in --archive-dir",
+    )
+    p_run.add_argument(
+        "--resume", action="store_true",
+        help="with --local: resume a checkpointed run, skipping done chunks",
+    )
+
+    p_rec = sub.add_parser(
+        "recover", help="resubmit a dead DAGMan from its rescue file"
+    )
+    p_rec.add_argument("config", type=Path)
+    p_rec.add_argument("rescue_file", type=Path)
+    p_rec.add_argument("--seed", type=int, default=0, help="pool-side seed")
+    p_rec.add_argument(
+        "--rescue-dir", type=Path, default=None,
+        help="where to write a new rescue file if this attempt dies too",
+    )
 
     p_trace = sub.add_parser("trace", help="run on OSG and export bursting CSVs")
     p_trace.add_argument("config", type=Path)
@@ -102,16 +133,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     config = FdwConfig.read(args.config)
     if args.local:
-        result = LocalRunner().run(config)
+        result = LocalRunner().run(
+            config,
+            archive_dir=args.archive_dir,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+        )
         print(
             f"local run: {result.n_waveform_sets} waveform sets in "
             f"{format_duration(result.total_seconds)}"
         )
         for phase, seconds in result.phase_seconds.items():
             print(f"  phase {phase}: {seconds:.2f}s")
+        if args.resume:
+            for phase in sorted(result.chunks_skipped):
+                print(
+                    f"  phase {phase} chunks: "
+                    f"{result.chunks_skipped[phase]} resumed, "
+                    f"{result.chunks_executed[phase]} executed"
+                )
         return 0
     parts = partition_config(config, args.dagmans)
-    batch = run_fdw_batch(parts, seed=args.seed)
+    batch = run_fdw_batch(parts, seed=args.seed, rescue_dir=args.rescue_dir)
     for name in batch.dagman_names:
         stats = DagmanStats.from_log_text(batch.user_logs[name])
         print(stats.report(name))
@@ -121,6 +164,43 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"batch makespan {format_duration(batch.batch_makespan_s())}, "
             f"aggregate throughput {batch.batch_throughput_jpm():.2f} jobs/min"
         )
+    if batch.rescue_files:
+        for name, path in sorted(batch.rescue_files.items()):
+            print(f"DAGMan {name} failed; rescue file: {path}")
+        print("resubmit the remainder with: repro recover <config> <rescue file>")
+        return 1
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.condor.dagman import DagmanOptions
+    from repro.condor.rescue import read_rescue_file
+    from repro.core.config import FdwConfig
+    from repro.core.monitor import DagmanStats
+    from repro.core.workflow import build_fdw_dag
+    from repro.osg.pool import resubmit_with_rescue
+
+    config = FdwConfig.read(args.config)
+    dag = build_fdw_dag(config)
+    done = read_rescue_file(args.rescue_file)
+    pool, run = resubmit_with_rescue(
+        dag,
+        args.rescue_file,
+        options=DagmanOptions(max_idle=config.max_idle),
+        name=config.name,
+        seed=args.seed,
+        rescue_dir=args.rescue_dir,
+    )
+    print(
+        f"rescued {len(done)} completed node(s); "
+        f"resubmitting the remaining {len(dag) - len(done)}"
+    )
+    pool.run()
+    stats = DagmanStats.from_log_text(run.user_log.render())
+    print(stats.report(config.name))
+    if run.dead:
+        print(f"DAGMan {config.name} failed again; rescue file: {run.rescue_file}")
+        return 1
     return 0
 
 
@@ -188,6 +268,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "init": _cmd_init,
     "run": _cmd_run,
+    "recover": _cmd_recover,
     "trace": _cmd_trace,
     "burst": _cmd_burst,
     "dagfile": _cmd_dagfile,

@@ -126,6 +126,11 @@ class DagmanEngine:
         """Nodes currently eligible for submission."""
         return len(self._ready_fifo)
 
+    def retries_left(self, name: str) -> int:
+        """Remaining DAG-level retries for a node."""
+        self.status(name)  # validates the name
+        return self._retries_left[name]
+
     # -- driving ------------------------------------------------------------
 
     def pull_submissions(self, current_idle: int) -> list[str]:

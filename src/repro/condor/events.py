@@ -139,7 +139,11 @@ def parse_user_log(text: str, source: str = "<string>") -> list[JobEvent]:
     :class:`~repro.errors.LogParseError` on structurally bad event lines.
     """
     events: list[JobEvent] = []
-    pending_terminated: JobEvent | None = None
+    # Index (not value) of the TERMINATED event awaiting its detail line.
+    # Matching by value (`events.index`) would attach a duplicated
+    # TERMINATED line's return value to the wrong event and makes the
+    # parse O(n^2) on large logs.
+    pending_terminated: int | None = None
     for lineno, raw in enumerate(text.splitlines(), start=1):
         if not raw.strip() or raw.strip() == "...":
             pending_terminated = None
@@ -149,12 +153,12 @@ def parse_user_log(text: str, source: str = "<string>") -> list[JobEvent]:
             if pending_terminated is not None:
                 match = _RETVAL_RE.search(raw)
                 if match:
-                    idx = events.index(pending_terminated)
-                    events[idx] = JobEvent(
-                        event_type=pending_terminated.event_type,
-                        cluster_id=pending_terminated.cluster_id,
-                        time_s=pending_terminated.time_s,
-                        host=pending_terminated.host,
+                    pending = events[pending_terminated]
+                    events[pending_terminated] = JobEvent(
+                        event_type=pending.event_type,
+                        cluster_id=pending.cluster_id,
+                        time_s=pending.time_s,
+                        host=pending.host,
                         return_value=int(match.group("rv")),
                     )
                     pending_terminated = None
@@ -182,5 +186,7 @@ def parse_user_log(text: str, source: str = "<string>") -> list[JobEvent]:
             host=host_match.group("host") if host_match else "",
         )
         events.append(event)
-        pending_terminated = event if etype is JobEventType.TERMINATED else None
+        pending_terminated = (
+            len(events) - 1 if etype is JobEventType.TERMINATED else None
+        )
     return events

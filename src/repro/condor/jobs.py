@@ -38,7 +38,7 @@ _TRANSITIONS: dict[JobState, frozenset[JobState]] = {
     JobState.UNSUBMITTED: frozenset({JobState.IDLE}),
     JobState.IDLE: frozenset({JobState.RUNNING, JobState.HELD, JobState.REMOVED}),
     JobState.RUNNING: frozenset(
-        {JobState.COMPLETED, JobState.FAILED, JobState.IDLE, JobState.REMOVED}
+        {JobState.COMPLETED, JobState.FAILED, JobState.IDLE, JobState.HELD, JobState.REMOVED}
     ),
     JobState.HELD: frozenset({JobState.IDLE, JobState.REMOVED}),
     JobState.COMPLETED: frozenset(),
@@ -139,8 +139,12 @@ class Job:
             )
         if new_state is JobState.IDLE and self.state is JobState.UNSUBMITTED:
             self.submit_time = time
-        elif new_state is JobState.IDLE and self.state in (JobState.RUNNING, JobState.FAILED):
-            # Re-queue (eviction or retry): clear the execution record.
+        elif new_state is JobState.IDLE and self.state in (
+            JobState.RUNNING,
+            JobState.FAILED,
+            JobState.HELD,
+        ):
+            # Re-queue (eviction, retry, or release): clear the execution record.
             self.start_time = None
             self.slot_name = None
         elif new_state is JobState.RUNNING:

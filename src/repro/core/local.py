@@ -30,9 +30,11 @@ import time
 import weakref
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from multiprocessing import resource_tracker
 from pathlib import Path
 
 from repro.errors import ConfigError
+from repro.core.checkpoint import RunCheckpoint
 from repro.core.config import FdwConfig
 from repro.core.gfcache import (
     GFCache,
@@ -55,13 +57,20 @@ __all__ = ["LocalRunResult", "LocalRunner", "estimate_sequential_runtime_s"]
 
 @dataclass(frozen=True)
 class LocalRunResult:
-    """Products and timings of one local FDW run."""
+    """Products and timings of one local FDW run.
+
+    ``chunks_executed``/``chunks_skipped`` count A/C chunks actually
+    computed vs restored from a checkpoint — the manifest accounting
+    that lets recovery tests assert no completed work was redone.
+    """
 
     config: FdwConfig
     n_waveform_sets: int
     phase_seconds: dict[str, float]
     archive_root: Path | None = None
     pgd_by_rupture: dict[str, float] = field(default_factory=dict)
+    chunks_executed: dict[str, int] = field(default_factory=dict)
+    chunks_skipped: dict[str, int] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -238,6 +247,10 @@ class LocalRunner:
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._state["pool"] is None:
+            # Start the shared-memory resource tracker before forking:
+            # workers forked without one lazily spawn their own, which
+            # double-books the bank segments and warns at worker exit.
+            resource_tracker.ensure_running()
             self._state["pool"] = ProcessPoolExecutor(max_workers=self.n_workers)
         return self._state["pool"]
 
@@ -264,14 +277,50 @@ class LocalRunner:
     # -- execution ------------------------------------------------------------
 
     def run(
-        self, config: FdwConfig, archive_dir: str | Path | None = None
+        self,
+        config: FdwConfig,
+        archive_dir: str | Path | None = None,
+        *,
+        checkpoint: bool = False,
+        resume: bool = False,
+        faults: "object | None" = None,
     ) -> LocalRunResult:
-        """Execute all three phases; optionally archive the products."""
+        """Execute all three phases; optionally archive the products.
+
+        With ``checkpoint=True`` (implied by ``resume=True``) the run
+        keeps a chunk-granular :class:`~repro.core.checkpoint.RunCheckpoint`
+        under ``archive_dir`` and assembles the product archive only once
+        every chunk is done. ``resume=True`` reloads a previous run's
+        checkpoint and skips its completed chunks; because Phase A keys
+        its RNG per catalog index and Phase C is a pure function of the
+        rupture chunk, a resumed run's archive is byte-identical to an
+        uninterrupted run's. ``faults`` takes a
+        :class:`~repro.faults.FaultPlan` whose ``chunk_completed`` hook
+        is called after each executed (and checkpointed) chunk — the
+        crash-injection point for recovery tests.
+        """
+        if (checkpoint or resume) and archive_dir is None:
+            raise ConfigError("checkpoint/resume requires an archive_dir")
         fq = _fakequakes_for(config, gf_cache=self.gf_cache, kl_cache=self.kl_cache)
         timings: dict[str, float] = {}
+        executed = {"A": 0, "C": 0}
+        skipped = {"A": 0, "C": 0}
+        a_chunks = chunk_bounds(config.n_waveforms, config.chunk_a)
+        c_chunks = chunk_bounds(config.n_waveforms, config.chunk_c)
+        ckpt: RunCheckpoint | None = None
+        if checkpoint or resume:
+            ckpt = RunCheckpoint(
+                Path(archive_dir),  # type: ignore[arg-type]
+                config,
+                n_a_chunks=len(a_chunks),
+                n_c_chunks=len(c_chunks),
+                resume=resume,
+            )
+        # Checkpointed runs assemble the archive only after every chunk
+        # is durable, so a crash never leaves a partial manifest behind.
         archive = (
             ProductArchive(Path(archive_dir), name=config.name)
-            if archive_dir is not None
+            if archive_dir is not None and ckpt is None
             else None
         )
 
@@ -280,11 +329,27 @@ class LocalRunner:
         timings["dist"] = time.perf_counter() - t0
 
         t0 = time.perf_counter()
-        ruptures: list[Rupture] = []
-        a_chunks = chunk_bounds(config.n_waveforms, config.chunk_a)
-        if self.n_workers == 1 or len(a_chunks) == 1:
-            for start, count in a_chunks:
-                ruptures.extend(fq.phase_a_ruptures(start, count))
+        chunks_a: list[list[Rupture]] = [[] for _ in a_chunks]
+        pending_a: list[int] = []
+        for i in range(len(a_chunks)):
+            if ckpt is not None and ckpt.is_done("A", i):
+                chunks_a[i] = ckpt.load_a_chunk(i)
+                skipped["A"] += 1
+            else:
+                pending_a.append(i)
+
+        def a_done(index: int, chunk: list[Rupture]) -> None:
+            chunks_a[index] = chunk
+            if ckpt is not None:
+                ckpt.store_a_chunk(index, chunk)
+            executed["A"] += 1
+            if faults is not None:
+                faults.chunk_completed("A")
+
+        if self.n_workers == 1 or len(pending_a) <= 1:
+            for i in pending_a:
+                start, count = a_chunks[i]
+                a_done(i, fq.phase_a_ruptures(start, count))
         else:
             # Pooled Phase-A fan-out: per-index RNG keying makes chunks
             # process-independent, so the catalog is bit-identical to
@@ -297,10 +362,11 @@ class LocalRunner:
                 else None
             )
             a_tasks: list[_AChunkTask] = [
-                (fq.params, start, count, kl_dir) for start, count in a_chunks
+                (fq.params, *a_chunks[i], kl_dir) for i in pending_a
             ]
-            for chunk in pool.map(_run_a_chunk, a_tasks):
-                ruptures.extend(chunk)
+            for i, chunk in zip(pending_a, pool.map(_run_a_chunk, a_tasks)):
+                a_done(i, chunk)
+        ruptures: list[Rupture] = [r for chunk in chunks_a for r in chunk]
         timings["A"] = time.perf_counter() - t0
 
         t0 = time.perf_counter()
@@ -308,15 +374,36 @@ class LocalRunner:
         timings["B"] = time.perf_counter() - t0
 
         t0 = time.perf_counter()
-        pgd: dict[str, float] = {}
-        n_sets = 0
+        rows_by_chunk: list[list[tuple[str, float, float, "str | None"]]] = [
+            [] for _ in c_chunks
+        ]
+        pending_c: list[int] = []
+        for i in range(len(c_chunks)):
+            if ckpt is not None and ckpt.is_done("C", i):
+                rows_by_chunk[i] = ckpt.load_c_chunk(i)
+                skipped["C"] += 1
+            else:
+                pending_c.append(i)
+
+        def c_done(index: int, rows: list[tuple[str, float, float, "str | None"]]) -> None:
+            rows_by_chunk[index] = rows
+            if ckpt is not None:
+                ckpt.store_c_chunk(index, rows)
+            executed["C"] += 1
+            if faults is not None:
+                faults.chunk_completed("C")
+
         if self.n_workers == 1:
-            for start, count in chunk_bounds(config.n_waveforms, config.chunk_c):
+            for i in pending_c:
+                start, count = c_chunks[i]
                 sets = fq.phase_c_waveforms(ruptures[start : start + count])
+                rows: list[tuple[str, float, float, "str | None"]] = []
                 for ws in sets:
-                    pgd[ws.rupture_id] = float(ws.pgd_m().max())
-                    n_sets += 1
-                    if archive is not None:
+                    path: str | None = None
+                    if ckpt is not None:
+                        path = str(ckpt.waveforms_dir / f"{ws.rupture_id}.npz")
+                        ws.save(path)
+                    elif archive is not None:
                         tmp = archive.root / f"_tmp_{ws.rupture_id}.npz"
                         ws.save(tmp)
                         archive.add_file(
@@ -326,13 +413,24 @@ class LocalRunner:
                             metadata={"mw": round(ws.metadata.get("target_mw", 0.0), 3)},
                             move=True,
                         )
+                    rows.append(
+                        (
+                            ws.rupture_id,
+                            float(ws.pgd_m().max()),
+                            float(ws.metadata.get("target_mw", 0.0)),
+                            path,
+                        )
+                    )
+                c_done(i, rows)
         else:
             key = gf_bank_key(
                 fq.geometry, fq.network, gf_method=fq.params.gf_method
             )
             handle = self._shared_handle(key, fq)
             spool: Path | None = None
-            if archive is not None:
+            if ckpt is not None:
+                spool = ckpt.waveforms_dir
+            elif archive is not None:
                 spool = archive.root / "_spool"
                 spool.mkdir(parents=True, exist_ok=True)
             tasks: list[_ChunkTask] = [
@@ -342,30 +440,53 @@ class LocalRunner:
                     ruptures[start : start + count],
                     str(spool) if spool is not None else None,
                 )
-                for start, count in chunk_bounds(config.n_waveforms, config.chunk_c)
+                for start, count in (c_chunks[i] for i in pending_c)
             ]
             pool = self._ensure_pool()
-            for rows in pool.map(_synthesize_chunk_shared, tasks):
-                for rupture_id, pgd_max, target_mw, path in rows:
-                    pgd[rupture_id] = pgd_max
-                    n_sets += 1
-                    if archive is not None and path is not None:
-                        # Workers spool; the parent owns the manifest (the
-                        # archive index is not multiprocess-safe).
+            for i, chunk_rows in zip(pending_c, pool.map(_synthesize_chunk_shared, tasks)):
+                if archive is not None:
+                    for rupture_id, pgd_max, target_mw, path in chunk_rows:
+                        if path is not None:
+                            # Workers spool; the parent owns the manifest (the
+                            # archive index is not multiprocess-safe).
+                            archive.add_file(
+                                Path(path),
+                                kind="waveforms",
+                                label=rupture_id,
+                                metadata={"mw": round(target_mw, 3)},
+                                move=True,
+                            )
+                c_done(i, chunk_rows)
+            if archive is not None and spool is not None:
+                try:
+                    spool.rmdir()
+                except OSError:  # pragma: no cover - stray spool files
+                    pass
+        pgd: dict[str, float] = {}
+        n_sets = 0
+        for chunk_rows in rows_by_chunk:
+            for rupture_id, pgd_max, _target_mw, _path in chunk_rows:
+                pgd[rupture_id] = pgd_max
+                n_sets += 1
+        timings["C"] = time.perf_counter() - t0
+
+        if ckpt is not None:
+            # All chunks durable: rebuild the archive from the checkpoint
+            # in canonical order (waveforms in catalog order, then
+            # ruptures) so the manifest matches an uninterrupted run's
+            # byte for byte, then retire the checkpoint.
+            ckpt.reset_archive()
+            archive = ProductArchive(Path(archive_dir), name=config.name)  # type: ignore[arg-type]
+            for chunk_rows in rows_by_chunk:
+                for rupture_id, _pgd_max, target_mw, path in chunk_rows:
+                    if path is not None:
                         archive.add_file(
                             Path(path),
                             kind="waveforms",
                             label=rupture_id,
                             metadata={"mw": round(target_mw, 3)},
-                            move=True,
+                            move=False,
                         )
-            if spool is not None:
-                try:
-                    spool.rmdir()
-                except OSError:  # pragma: no cover - stray spool files
-                    pass
-        timings["C"] = time.perf_counter() - t0
-
         if archive is not None:
             for rupture in ruptures:
                 tmp = archive.root / f"_tmp_{rupture.rupture_id}.rupt"
@@ -377,6 +498,8 @@ class LocalRunner:
                     metadata={"mw": round(rupture.actual_mw, 3)},
                     move=True,
                 )
+        if ckpt is not None:
+            ckpt.finalize()
 
         return LocalRunResult(
             config=config,
@@ -384,6 +507,8 @@ class LocalRunner:
             phase_seconds=timings,
             archive_root=archive.root if archive is not None else None,
             pgd_by_rupture=pgd,
+            chunks_executed=dict(executed),
+            chunks_skipped=dict(skipped),
         )
 
 

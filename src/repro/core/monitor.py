@@ -33,6 +33,7 @@ class JobTiming:
     end_time: float | None
     return_value: int | None
     n_evictions: int
+    n_holds: int = 0
 
     @property
     def completed(self) -> bool:
@@ -41,8 +42,14 @@ class JobTiming:
 
     @property
     def failed(self) -> bool:
-        """Terminated abnormally."""
-        return self.end_time is not None and (self.return_value or 0) != 0
+        """Terminated abnormally.
+
+        A TERMINATED event whose detail line is missing or unparseable
+        leaves ``return_value`` as ``None``; such jobs cannot be counted
+        as completed, so they are classified failed (otherwise they
+        silently vanish from both counters).
+        """
+        return self.end_time is not None and self.return_value != 0
 
     @property
     def wait_s(self) -> float | None:
@@ -78,6 +85,7 @@ class DagmanStats:
         last_exec: dict[int, float] = {}
         term: dict[int, tuple[float, int | None]] = {}
         evictions: dict[int, int] = {}
+        holds: dict[int, int] = {}
         for ev in events:
             if ev.event_type is JobEventType.SUBMIT:
                 if ev.cluster_id in submit:
@@ -89,6 +97,8 @@ class DagmanStats:
                 last_exec[ev.cluster_id] = ev.time_s
             elif ev.event_type is JobEventType.EVICTED:
                 evictions[ev.cluster_id] = evictions.get(ev.cluster_id, 0) + 1
+            elif ev.event_type is JobEventType.HELD:
+                holds[ev.cluster_id] = holds.get(ev.cluster_id, 0) + 1
             elif ev.event_type is JobEventType.TERMINATED:
                 term[ev.cluster_id] = (ev.time_s, ev.return_value)
         jobs: dict[int, JobTiming] = {}
@@ -101,6 +111,7 @@ class DagmanStats:
                 end_time=end[0] if end else None,
                 return_value=end[1] if end else None,
                 n_evictions=evictions.get(cluster_id, 0),
+                n_holds=holds.get(cluster_id, 0),
             )
         return cls(jobs=jobs)
 

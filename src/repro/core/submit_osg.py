@@ -10,6 +10,7 @@ HTCondor-style user logs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -31,6 +32,9 @@ class FdwBatchResult:
 
     metrics: PoolMetrics
     user_logs: dict[str, str] = field(repr=False, default_factory=dict)
+    #: Rescue files written for DAGMans that failed terminally (only
+    #: populated when the batch ran with a ``rescue_dir``).
+    rescue_files: dict[str, Path] = field(default_factory=dict)
 
     @property
     def dagman_names(self) -> list[str]:
@@ -71,6 +75,7 @@ def run_fdw_batch(
     capacity: CapacityProcess | None = None,
     seed: int = 0,
     stagger_s: float = 0.0,
+    rescue_dir: str | Path | None = None,
 ) -> FdwBatchResult:
     """Run FDW configuration(s) as concurrent DAGMans on a fresh pool.
 
@@ -87,6 +92,11 @@ def run_fdw_batch(
     stagger_s:
         Submission stagger between successive DAGMans ("launch
         simultaneously" is 0, the paper's setup).
+    rescue_dir:
+        When given, the pool snapshots a rescue file for any DAGMan
+        that dies (see :mod:`repro.condor.rescue`); the written paths
+        come back in :attr:`FdwBatchResult.rescue_files` for a
+        follow-up ``recover`` run.
     """
     if isinstance(configs, FdwConfig):
         configs = [configs]
@@ -98,7 +108,9 @@ def run_fdw_batch(
     if stagger_s < 0:
         raise SimulationError(f"stagger_s must be >= 0, got {stagger_s}")
 
-    pool = OSPoolSimulator(config=pool_config, capacity=capacity, seed=seed)
+    pool = OSPoolSimulator(
+        config=pool_config, capacity=capacity, seed=seed, rescue_dir=rescue_dir
+    )
     for i, config in enumerate(configs):
         dag = build_fdw_dag(config)
         pool.submit_dagman(
@@ -109,4 +121,9 @@ def run_fdw_batch(
         )
     metrics = pool.run()
     logs = {name: run.user_log.render() for name, run in pool.dagman_runs.items()}
-    return FdwBatchResult(metrics=metrics, user_logs=logs)
+    rescues = {
+        name: run.rescue_file
+        for name, run in pool.dagman_runs.items()
+        if run.rescue_file is not None
+    }
+    return FdwBatchResult(metrics=metrics, user_logs=logs, rescue_files=rescues)

@@ -102,9 +102,15 @@ def export_traces(
     summary = result.metrics.dagmans.get(dagman)
     if summary is None:
         raise TraceError(f"no DAGMan {dagman!r} in batch result")
-    records = [r for r in result.metrics.for_dagman(dagman) if r.success]
+    all_records = result.metrics.for_dagman(dagman)
+    records = [r for r in all_records if r.success]
     if not records:
         raise TraceError(f"DAGMan {dagman!r} has no successful jobs to trace")
+    # The batch header's first EXECUTE must match the log-derived
+    # semantics of DagmanStats: the earliest start across *all* attempts,
+    # including failed/retried ones — a batch whose earliest EXECUTE
+    # belonged to a failed attempt would otherwise export a wrong header.
+    first_execute_s = min(r.start_time for r in all_records)
 
     batch_path = directory / f"{name}_batch.csv"
     jobs_path = directory / f"{name}_jobs.csv"
@@ -116,7 +122,7 @@ def export_traces(
             [
                 dagman,
                 f"{summary.submit_time:.3f}",
-                f"{min(r.start_time for r in records):.3f}",
+                f"{first_execute_s:.3f}",
                 f"{summary.end_time:.3f}",
                 str(len(records)),
             ]

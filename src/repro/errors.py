@@ -17,6 +17,7 @@ __all__ = [
     "WaveformError",
     "ArchiveError",
     "CacheError",
+    "CheckpointError",
     "SubmitError",
     "DagError",
     "JobStateError",
@@ -68,6 +69,10 @@ class ArchiveError(ReproError):
 
 class CacheError(ReproError):
     """Green's-function bank cache lookup, store, or sharing failed."""
+
+
+class CheckpointError(ReproError):
+    """A local-run checkpoint manifest is missing, stale, or corrupt."""
 
 
 # --- condor ---------------------------------------------------------------

@@ -1,0 +1,150 @@
+"""Deterministic fault injection for recovery testing.
+
+WfBench-style methodology: recovery paths are only trustworthy if they
+are exercised by *injected* failures, reproducibly. A
+:class:`FaultPlan` bundles two kinds of deterministic faults:
+
+* :class:`ChunkCrash` — kill a :class:`~repro.core.local.LocalRunner`
+  run by raising :class:`FaultInjected` after N chunks of a phase have
+  completed (and been checkpointed), simulating a mid-run process death;
+* :class:`PoolFault` — at a fixed simulation time, evict or hold
+  running jobs or kill a whole DAGMan on an
+  :class:`~repro.osg.pool.OSPoolSimulator` via its injection hooks.
+
+Plans are plain data plus a little runtime state; :meth:`FaultPlan.seeded`
+derives crash points from a seed through the package's
+:class:`~repro.rng.RngFactory`, so a test's fault schedule is as
+reproducible as the workload it perturbs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.rng import RngFactory
+
+__all__ = ["FaultInjected", "ChunkCrash", "PoolFault", "FaultPlan"]
+
+_POOL_ACTIONS = ("evict", "hold", "kill-dagman")
+
+
+class FaultInjected(ReproError):
+    """Raised (on purpose) when an injected crash point fires."""
+
+
+@dataclass(frozen=True)
+class ChunkCrash:
+    """Crash a local run after ``after_chunks`` chunks of ``phase``.
+
+    The crash fires *after* the Nth chunk completes and checkpoints, so
+    a resumed run must skip exactly N chunks of that phase.
+    """
+
+    phase: str
+    after_chunks: int
+
+    def __post_init__(self) -> None:
+        if self.phase not in ("A", "C"):
+            raise ReproError(f"crashes target chunked phases A/C, got {self.phase!r}")
+        if self.after_chunks < 1:
+            raise ReproError(f"after_chunks must be >= 1, got {self.after_chunks}")
+
+
+@dataclass(frozen=True)
+class PoolFault:
+    """One scheduled pool fault.
+
+    ``action`` is ``"evict"`` / ``"hold"`` (force-evict or force-hold
+    the ``count`` newest running jobs) or ``"kill-dagman"`` (abort the
+    named DAGMan); ``at_s`` is the simulation time it fires.
+    """
+
+    action: str
+    at_s: float
+    dagman: str | None = None
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.action not in _POOL_ACTIONS:
+            raise ReproError(f"unknown pool fault action {self.action!r}")
+        if self.at_s < 0:
+            raise ReproError(f"at_s must be >= 0, got {self.at_s}")
+        if self.count < 1:
+            raise ReproError(f"count must be >= 1, got {self.count}")
+        if self.action == "kill-dagman" and self.dagman is None:
+            raise ReproError("kill-dagman requires a dagman name")
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of faults for one run.
+
+    One plan instance drives one run: :meth:`chunk_completed` keeps
+    per-phase counters and each :class:`ChunkCrash` fires at most once.
+    """
+
+    crashes: tuple[ChunkCrash, ...] = ()
+    pool_faults: tuple[PoolFault, ...] = ()
+    _chunk_counts: dict[str, int] = field(default_factory=dict, repr=False)
+    _fired: set[ChunkCrash] = field(default_factory=set, repr=False)
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        n_a_chunks: int = 0,
+        n_c_chunks: int = 0,
+    ) -> "FaultPlan":
+        """Derive crash points from a seed.
+
+        For each phase with more than one chunk, the crash lands
+        uniformly in ``[1, n_chunks - 1]`` — always mid-phase, so a
+        resume has both completed chunks to skip and pending chunks to
+        run.
+        """
+        rng = RngFactory(seed).generator("faults")
+        crashes: list[ChunkCrash] = []
+        if n_a_chunks > 1:
+            crashes.append(ChunkCrash("A", int(rng.integers(1, n_a_chunks))))
+        if n_c_chunks > 1:
+            crashes.append(ChunkCrash("C", int(rng.integers(1, n_c_chunks))))
+        return cls(crashes=tuple(crashes))
+
+    def chunk_completed(self, phase: str) -> None:
+        """Notify the plan that one chunk of ``phase`` completed.
+
+        Raises
+        ------
+        FaultInjected
+            When a not-yet-fired :class:`ChunkCrash` for this phase has
+            its ``after_chunks`` count reached.
+        """
+        n = self._chunk_counts.get(phase, 0) + 1
+        self._chunk_counts[phase] = n
+        for crash in self.crashes:
+            if crash.phase == phase and crash.after_chunks == n and crash not in self._fired:
+                self._fired.add(crash)
+                raise FaultInjected(
+                    f"injected crash after {n} completed {phase} chunk(s)"
+                )
+
+    def install(self, pool) -> None:
+        """Schedule the plan's pool faults on an ``OSPoolSimulator``.
+
+        Call after submissions, before ``pool.run()``.
+        """
+        for fault in self.pool_faults:
+            if fault.action == "evict":
+                pool.sim.schedule_at(
+                    fault.at_s, lambda f=fault: pool.inject_eviction(f.count)
+                )
+            elif fault.action == "hold":
+                pool.sim.schedule_at(
+                    fault.at_s,
+                    lambda f=fault: pool.inject_hold(f.count, dagman=f.dagman),
+                )
+            else:  # kill-dagman
+                pool.sim.schedule_at(
+                    fault.at_s, lambda f=fault: pool.kill_dagman(f.dagman)
+                )

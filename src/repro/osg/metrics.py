@@ -79,6 +79,36 @@ class PoolMetrics:
     dagmans: dict[str, DagmanSummary] = field(default_factory=dict)
     capacity_trace: list[tuple[float, int]] = field(default_factory=list)
 
+    # -- aggregation across attempts -----------------------------------------
+
+    @classmethod
+    def merged(cls, attempts: "list[PoolMetrics]") -> "PoolMetrics":
+        """Merge metrics from successive rescue attempts of a batch.
+
+        Job records and capacity traces concatenate; a DAGMan appearing
+        in several attempts (the original run plus its rescues) merges
+        into one summary spanning first submit to last end, with the job
+        count summed so every-node-exactly-once accounting still holds.
+        """
+        if not attempts:
+            raise SimulationError("no metrics to merge")
+        merged = cls()
+        for m in attempts:
+            merged.records.extend(m.records)
+            merged.capacity_trace.extend(m.capacity_trace)
+            for name, s in m.dagmans.items():
+                prev = merged.dagmans.get(name)
+                if prev is None:
+                    merged.dagmans[name] = s
+                else:
+                    merged.dagmans[name] = DagmanSummary(
+                        name=name,
+                        submit_time=min(prev.submit_time, s.submit_time),
+                        end_time=max(prev.end_time, s.end_time),
+                        n_jobs=prev.n_jobs + s.n_jobs,
+                    )
+        return merged
+
     # -- selection ---------------------------------------------------------
 
     def for_dagman(self, name: str) -> list[JobRecord]:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -27,6 +28,7 @@ from repro.condor.dagfile import DagDescription
 from repro.condor.dagman import DagmanEngine, DagmanOptions
 from repro.condor.events import JobEventType, UserLog
 from repro.condor.jobs import Job, JobState
+from repro.condor.rescue import apply_rescue, read_rescue_file, rescue_path, write_rescue_file
 from repro.osg.capacity import CapacityProcess, default_ospool_capacity
 from repro.osg.des import EventHandle, Simulator
 from repro.osg.metrics import DagmanSummary, JobRecord, PoolMetrics
@@ -36,7 +38,13 @@ from repro.osg.schedd import ScheddQueue
 from repro.osg.transfer import StashCache, TransferConfig
 from repro.rng import RngFactory
 
-__all__ = ["OSPoolConfig", "OSPoolSimulator", "DagmanRun"]
+__all__ = [
+    "OSPoolConfig",
+    "OSPoolSimulator",
+    "DagmanRun",
+    "resubmit_with_rescue",
+    "verify_exactly_once",
+]
 
 
 @dataclass(frozen=True)
@@ -59,6 +67,14 @@ class OSPoolConfig:
     preemption:
         Evict the newest running jobs when capacity drops below the
         running count (glidein churn).
+    max_job_holds:
+        When > 0, a job failure that would exhaust the node's DAG-level
+        retries is instead put on HOLD (up to this many times per node)
+        and released after ``hold_release_s`` — HTCondor's last line of
+        defence before the DAG fails terminally. 0 (default) disables
+        holds, preserving the pre-hold simulator behaviour exactly.
+    hold_release_s:
+        Seconds a held job waits before automatic release back to IDLE.
     max_sim_time_s:
         Hard guard against deadlocked configurations.
     """
@@ -69,6 +85,8 @@ class OSPoolConfig:
     runtime: RuntimeModel = field(default_factory=RuntimeModel)
     success_prob: float = 0.985
     preemption: bool = True
+    max_job_holds: int = 0
+    hold_release_s: float = 300.0
     max_sim_time_s: float = 30.0 * 86400.0
 
     def __post_init__(self) -> None:
@@ -76,6 +94,10 @@ class OSPoolConfig:
             raise SimulationError("dagman_cycle_s must be positive")
         if not (0.0 < self.success_prob <= 1.0):
             raise SimulationError(f"success_prob must be in (0, 1], got {self.success_prob}")
+        if self.max_job_holds < 0:
+            raise SimulationError(f"max_job_holds must be >= 0, got {self.max_job_holds}")
+        if self.hold_release_s <= 0:
+            raise SimulationError("hold_release_s must be positive")
         if self.max_sim_time_s <= 0:
             raise SimulationError("max_sim_time_s must be positive")
 
@@ -92,6 +114,9 @@ class DagmanRun:
     end_time: float | None = None
     dead: bool = False  # terminal failure (retries exhausted)
     jobs: dict[str, list[Job]] = field(default_factory=dict)
+    rescue_file: Path | None = None
+    holds: dict[str, int] = field(default_factory=dict)  # node -> times held
+    held: list[tuple[str, Job]] = field(default_factory=list)
 
     @property
     def finished(self) -> bool:
@@ -102,6 +127,11 @@ class DagmanRun:
     def n_jobs(self) -> int:
         """DAG size (the paper's per-DAGMan job count j_n)."""
         return len(self.engine.dag)
+
+    @property
+    def n_held(self) -> int:
+        """Jobs currently on HOLD."""
+        return len(self.held)
 
 
 class OSPoolSimulator:
@@ -117,6 +147,12 @@ class OSPoolSimulator:
         process object is stateful.
     seed:
         Root seed for all stochastic components.
+    rescue_dir:
+        When set, the simulator writes a rescue file (DONE-node
+        snapshot, see :mod:`repro.condor.rescue`) whenever a DAGMan
+        dies terminally, is killed with :meth:`kill_dagman`, or is left
+        unfinished by a bounded ``run(until=...)`` — the recovery input
+        for :func:`resubmit_with_rescue`.
     """
 
     def __init__(
@@ -124,8 +160,10 @@ class OSPoolSimulator:
         config: OSPoolConfig | None = None,
         capacity: CapacityProcess | None = None,
         seed: int = 0,
+        rescue_dir: str | Path | None = None,
     ) -> None:
         self.config = config or OSPoolConfig()
+        self.rescue_dir = Path(rescue_dir) if rescue_dir is not None else None
         self.capacity_process = capacity or default_ospool_capacity()
         self.rngs = RngFactory(seed)
         self._rng_capacity = self.rngs.generator("capacity")
@@ -276,6 +314,18 @@ class OSPoolSimulator:
             next_node, next_job = run.queue.pop()
             self._start_job(run, next_node, next_job)
         success = bool(self._rng_failure.random() < self.config.success_prob)
+        if (
+            not success
+            and self.config.max_job_holds > 0
+            and run.engine.retries_left(node_name) == 0
+            and run.holds.get(node_name, 0) < self.config.max_job_holds
+        ):
+            # The failure would exhaust the node's DAG retries: hold the
+            # job instead of failing the DAG (HTCondor's ON_EXIT_HOLD /
+            # periodic-release pattern). No TERMINATED event, no record —
+            # like an eviction, the attempt is not terminal.
+            self._hold_job(run, node_name, job)
+            return
         job.transition(JobState.COMPLETED if success else JobState.FAILED, now)
         run.user_log.record(
             JobEventType.TERMINATED,
@@ -308,6 +358,28 @@ class OSPoolSimulator:
         else:
             self._report_result(run, node_name, success)
 
+    def _hold_job(self, run: DagmanRun, node_name: str, job: Job) -> None:
+        """Put a job on HOLD; it auto-releases after ``hold_release_s``."""
+        now = self.sim.now
+        job.transition(JobState.HELD, now)
+        run.user_log.record(JobEventType.HELD, job.cluster_id, now)
+        run.holds[node_name] = run.holds.get(node_name, 0) + 1
+        run.held.append((node_name, job))
+        self.sim.schedule(
+            self.config.hold_release_s,
+            lambda: self._release_job(run, node_name, job),
+        )
+
+    def _release_job(self, run: DagmanRun, node_name: str, job: Job) -> None:
+        """Release a held job back to IDLE (front of its queue)."""
+        if run.finished or job.state is not JobState.HELD:
+            return  # the DAGMan ended (e.g. killed) while the job was held
+        now = self.sim.now
+        run.held.remove((node_name, job))
+        job.transition(JobState.IDLE, now)
+        run.user_log.record(JobEventType.RELEASED, job.cluster_id, now)
+        run.queue.enqueue(node_name, job, front=True)
+
     def _report_result(self, run: DagmanRun, node_name: str, success: bool) -> None:
         """Deliver a node's final result to its DAGMan engine."""
         if run.finished:
@@ -319,11 +391,23 @@ class OSPoolSimulator:
         elif run.engine.has_failed and self._no_inflight(run):
             run.end_time = now
             run.dead = True
+            self._write_rescue(run)
 
     def _no_inflight(self, run: DagmanRun) -> bool:
-        if run.queue.n_idle > 0 or run.engine.n_ready > 0:
+        if run.queue.n_idle > 0 or run.engine.n_ready > 0 or run.held:
             return False
         return all(entry[1] is not run for entry in self._running)
+
+    def _write_rescue(self, run: DagmanRun) -> Path | None:
+        """Snapshot a DAGMan's DONE nodes into the next free rescue file."""
+        if self.rescue_dir is None:
+            return None
+        base = self.rescue_dir / f"{run.name}.dag"
+        attempt = 1
+        while rescue_path(base, attempt).exists():
+            attempt += 1
+        run.rescue_file = write_rescue_file(run.engine, rescue_path(base, attempt), attempt)
+        return run.rescue_file
 
     def _capacity_step(self, first: bool = False) -> None:
         if first:
@@ -339,6 +423,17 @@ class OSPoolSimulator:
 
         self.sim.schedule(dwell, change)
 
+    def _evict_entries(
+        self, victims: list[tuple[float, DagmanRun, str, Job, EventHandle]]
+    ) -> None:
+        now = self.sim.now
+        for _, run, node_name, job, handle in victims:
+            Simulator.cancel(handle)
+            job.transition(JobState.IDLE, now)
+            run.user_log.record(JobEventType.EVICTED, job.cluster_id, now)
+            self._evictions[job.cluster_id] = self._evictions.get(job.cluster_id, 0) + 1
+            run.queue.enqueue(node_name, job, front=True)
+
     def _preempt_to_capacity(self) -> None:
         overflow = len(self._running) - self._capacity
         if overflow <= 0:
@@ -347,13 +442,78 @@ class OSPoolSimulator:
         self._running.sort(key=lambda entry: entry[0])
         victims = self._running[-overflow:]
         del self._running[-overflow:]
-        now = self.sim.now
-        for _, run, node_name, job, handle in victims:
+        self._evict_entries(victims)
+
+    # -- fault injection ---------------------------------------------------------
+
+    def inject_eviction(self, count: int = 1) -> int:
+        """Forcibly evict the ``count`` newest running jobs.
+
+        Fault-injection hook (used by :mod:`repro.faults`): behaves
+        exactly like a capacity-drop preemption, independent of the
+        capacity process. Returns how many jobs were actually evicted.
+        """
+        if count < 1:
+            raise SimulationError(f"count must be >= 1, got {count}")
+        self._running.sort(key=lambda entry: entry[0])
+        victims = self._running[-count:]
+        del self._running[len(self._running) - len(victims):]
+        self._evict_entries(victims)
+        return len(victims)
+
+    def inject_hold(self, count: int = 1, dagman: str | None = None) -> int:
+        """Forcibly put the ``count`` newest running jobs on HOLD.
+
+        Fault-injection hook: the jobs release automatically after
+        ``hold_release_s`` like any held job. Returns how many jobs
+        were actually held.
+        """
+        if count < 1:
+            raise SimulationError(f"count must be >= 1, got {count}")
+        candidates = [
+            entry for entry in self._running
+            if dagman is None or entry[1].name == dagman
+        ]
+        candidates.sort(key=lambda entry: entry[0])
+        victims = candidates[-count:]
+        for entry in victims:
+            self._running.remove(entry)
+            _, run, node_name, job, handle = entry
             Simulator.cancel(handle)
-            job.transition(JobState.IDLE, now)
-            run.user_log.record(JobEventType.EVICTED, job.cluster_id, now)
-            self._evictions[job.cluster_id] = self._evictions.get(job.cluster_id, 0) + 1
-            run.queue.enqueue(node_name, job, front=True)
+            self._hold_job(run, node_name, job)
+        return len(victims)
+
+    def kill_dagman(self, name: str) -> Path | None:
+        """Abort a DAGMan mid-flight (``condor_rm`` of the DAGMan job).
+
+        Running jobs are cancelled and REMOVED (ABORTED in the user
+        log), idle and held jobs likewise; the run is marked dead and —
+        when a ``rescue_dir`` is configured — a rescue file snapshotting
+        the DONE nodes is written and returned.
+        """
+        run = self._dagmans.get(name)
+        if run is None:
+            raise SimulationError(f"unknown DAGMan {name!r}")
+        if run.finished:
+            raise SimulationError(f"DAGMan {name!r} already finished")
+        now = self.sim.now
+        victims = [entry for entry in self._running if entry[1] is run]
+        self._running = [entry for entry in self._running if entry[1] is not run]
+        for _, _, _, job, handle in victims:
+            Simulator.cancel(handle)
+            job.transition(JobState.REMOVED, now)
+            run.user_log.record(JobEventType.ABORTED, job.cluster_id, now)
+        while run.queue.n_idle:
+            _, job = run.queue.pop()
+            job.transition(JobState.REMOVED, now)
+            run.user_log.record(JobEventType.ABORTED, job.cluster_id, now)
+        for _, job in run.held:
+            job.transition(JobState.REMOVED, now)
+            run.user_log.record(JobEventType.ABORTED, job.cluster_id, now)
+        run.held.clear()
+        run.end_time = now
+        run.dead = True
+        return self._write_rescue(run)
 
     # -- running -----------------------------------------------------------------
 
@@ -375,12 +535,18 @@ class OSPoolSimulator:
         self.sim.schedule_at(0.0, self._negotiator_cycle)
         horizon = until if until is not None else self.config.max_sim_time_s
         self.sim.run(until=horizon, stop_when=self._all_done)
-        if not self._all_done() and until is None:
-            unfinished = [n for n, d in self._dagmans.items() if not d.finished]
-            raise SimulationError(
-                f"simulation hit the {horizon}s guard with unfinished "
-                f"DAGMans: {unfinished}"
-            )
+        if not self._all_done():
+            if until is None:
+                unfinished = [n for n, d in self._dagmans.items() if not d.finished]
+                raise SimulationError(
+                    f"simulation hit the {horizon}s guard with unfinished "
+                    f"DAGMans: {unfinished}"
+                )
+            # Bounded run interrupted mid-flight: snapshot each unfinished
+            # DAGMan's progress so a later attempt can resume from it.
+            for d in self._dagmans.values():
+                if not d.finished:
+                    self._write_rescue(d)
         metrics = PoolMetrics(
             records=list(self._records),
             dagmans={
@@ -418,3 +584,64 @@ class OSPoolSimulator:
         if dt.sum() <= 0:
             return float(caps[-1])
         return float(np.sum(caps * dt) / dt.sum())
+
+
+# -- recovery ------------------------------------------------------------------
+
+
+def resubmit_with_rescue(
+    dag: DagDescription,
+    rescue_file: str | Path,
+    *,
+    options: DagmanOptions | None = None,
+    name: str | None = None,
+    config: OSPoolConfig | None = None,
+    capacity: CapacityProcess | None = None,
+    seed: int = 0,
+    rescue_dir: str | Path | None = None,
+) -> tuple[OSPoolSimulator, DagmanRun]:
+    """Resubmit a DAG from a rescue file on a fresh pool.
+
+    Constructs a fresh :class:`~repro.condor.dagman.DagmanEngine`,
+    fast-forwards the rescue file's DONE nodes via
+    :func:`~repro.condor.rescue.apply_rescue`, and submits it to a new
+    :class:`OSPoolSimulator` — the driver then calls ``run()`` on the
+    returned simulator. Passing ``rescue_dir`` lets the resubmission
+    itself write further rescue files, chaining attempts.
+    """
+    engine = DagmanEngine(dag, options)
+    apply_rescue(engine, read_rescue_file(rescue_file))
+    pool = OSPoolSimulator(
+        config=config, capacity=capacity, seed=seed, rescue_dir=rescue_dir
+    )
+    run = pool.submit_engine(engine, name=name or dag.name)
+    return pool, run
+
+
+def verify_exactly_once(
+    dag: DagDescription, metrics: PoolMetrics, dagman: str | None = None
+) -> None:
+    """Assert every DAG node succeeded exactly once across attempts.
+
+    ``metrics`` is typically :meth:`PoolMetrics.merged` over the
+    original attempt and its rescue resubmissions. Failed attempts of a
+    node are expected (retries); *successful* records must number
+    exactly one per node — zero means lost work, more than one means a
+    rescue re-ran completed work.
+
+    Raises
+    ------
+    SimulationError
+        Listing the offending nodes and their success counts.
+    """
+    successes: dict[str, int] = {name: 0 for name in dag.node_names}
+    for record in metrics.records:
+        if dagman is not None and record.dagman != dagman:
+            continue
+        if record.success and record.node_name in successes:
+            successes[record.node_name] += 1
+    problems = {name: n for name, n in successes.items() if n != 1}
+    if problems:
+        raise SimulationError(
+            f"nodes did not succeed exactly once across attempts: {problems}"
+        )

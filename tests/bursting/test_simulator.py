@@ -9,9 +9,9 @@ from repro.bursting.policies import (
     QueueTimePolicy,
     SubmissionGapPolicy,
 )
-from repro.bursting.simulator import BurstingSimulator
+from repro.bursting.simulator import BurstingSimulator, _ReplayState
 from repro.core.traces import BatchTrace, JobTrace
-from repro.errors import PolicyError
+from repro.errors import PolicyError, TraceError
 
 
 def synthetic_trace(n_jobs=40, exec_s=300.0, stagger_s=60.0, phase="C"):
@@ -52,6 +52,18 @@ def test_control_throughput_series_matches_eq5():
     # At t=160 s: 1 job / (160/60) min.
     assert series[159] == pytest.approx(1.0 / (160.0 / 60.0))
     assert len(series) == int(result.runtime_s)
+
+
+def test_advance_to_zero_raises_trace_error():
+    """Regression: advance_to(0) divided by zero computing instant
+    throughput; it must raise TraceError instead."""
+    state = _ReplayState(synthetic_trace(n_jobs=3), CloudJobModel())
+    with pytest.raises(TraceError, match="now > 0"):
+        state.advance_to(0.0)
+    with pytest.raises(TraceError):
+        state.advance_to(-1.0)
+    state.advance_to(1.0)  # the run loop's first second is valid
+    assert state.now_s == 1.0
 
 
 def test_queue_policy_bursts_waiting_jobs():

@@ -88,6 +88,62 @@ def test_write_and_read_file(tmp_path):
     assert parse_user_log(path.read_text()) == parse_user_log(log.render())
 
 
+def test_duplicate_terminated_line_attaches_to_duplicate():
+    """Regression: a duplicated TERMINATED line (identical event text,
+    e.g. a log shipper writing twice) must attach the detail line's
+    return value to the duplicate it follows — matching by value
+    equality attached it to the earlier, value-equal event instead."""
+    line = "005 (0007.000.000) 2023-01-01+0 00:10:00 Job terminated."
+    text = "\n".join(
+        [
+            line,
+            "...",
+            line,
+            "\t(1) Abnormal termination (return value 1)",
+            "...",
+        ]
+    ) + "\n"
+    events = parse_user_log(text)
+    assert len(events) == 2
+    assert events[0].return_value is None  # no detail line followed it
+    assert events[1].return_value == 1
+
+
+def _bulk_log_text(n_jobs):
+    lines = []
+    for i in range(n_jobs):
+        lines.append(f"000 ({i:04d}.000.000) 2023-01-01+0 00:00:01 Job submitted from host: <s>")
+        lines.append("...")
+        lines.append(f"001 ({i:04d}.000.000) 2023-01-01+0 00:00:02 Job executing on host: <w>")
+        lines.append("...")
+        lines.append(f"005 ({i:04d}.000.000) 2023-01-01+0 00:00:03 Job terminated.")
+        lines.append("\t(1) Normal termination (return value 0)")
+        lines.append("...")
+    return "\n".join(lines) + "\n"
+
+
+def test_parse_time_linear_in_log_size():
+    """Regression: the value-equality scan made parsing O(n^2). Compare
+    per-event parse time at 2k vs 16k jobs (min of repeats): linear
+    parsing keeps the ratio near 1; quadratic pushes it toward 8."""
+    import time
+
+    small, large = _bulk_log_text(2_000), _bulk_log_text(16_000)
+
+    def min_time(text, repeats=3):
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            events = parse_user_log(text)
+            best = min(best, time.perf_counter() - t0)
+        assert events[-1].return_value == 0
+        return best
+
+    per_event_small = min_time(small) / 2_000
+    per_event_large = min_time(large) / 16_000
+    assert per_event_large < 4.0 * per_event_small
+
+
 def test_event_codes_match_htcondor():
     assert JobEventType.SUBMIT.code == "000"
     assert JobEventType.EXECUTE.code == "001"

@@ -82,6 +82,40 @@ def test_report_contains_headlines(parsed):
     assert "jobs/min" in report
 
 
+def test_unknown_return_value_counts_as_failed():
+    """Regression: TERMINATED with a missing/unparseable detail line
+    (return_value None) was neither completed nor failed, silently
+    deflating both counters."""
+    text = (
+        "000 (0005.000.000) 2023-01-01+0 00:00:00 Job submitted from host: <s>\n"
+        "...\n"
+        "001 (0005.000.000) 2023-01-01+0 00:01:00 Job executing on host: <w>\n"
+        "...\n"
+        "005 (0005.000.000) 2023-01-01+0 00:02:00 Job terminated.\n"
+        "...\n"
+    )
+    stats = DagmanStats.from_log_text(text)
+    job = stats.jobs[5]
+    assert job.return_value is None
+    assert job.failed
+    assert not job.completed
+    assert stats.n_failed == 1
+    assert stats.n_completed == 0
+
+
+def test_held_events_counted():
+    log = UserLog()
+    log.record(JobEventType.SUBMIT, 1, 0.0)
+    log.record(JobEventType.EXECUTE, 1, 10.0, host="slot-1")
+    log.record(JobEventType.HELD, 1, 20.0)
+    log.record(JobEventType.RELEASED, 1, 80.0)
+    log.record(JobEventType.EXECUTE, 1, 90.0, host="slot-2")
+    log.record(JobEventType.TERMINATED, 1, 200.0, return_value=0)
+    stats = DagmanStats.from_log_text(log.render())
+    assert stats.jobs[1].n_holds == 1
+    assert stats.jobs[1].completed
+
+
 def test_duplicate_submit_rejected():
     log = UserLog()
     log.record(JobEventType.SUBMIT, 1, 0.0)

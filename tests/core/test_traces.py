@@ -40,6 +40,32 @@ def test_phase_jobs_filter(tmp_path, tiny_batch_result, tiny_fdw_config):
     assert len(trace.phase_jobs("B")) == 1
 
 
+def test_first_execute_includes_failed_attempts(tmp_path):
+    """Regression: the batch header's first_execute_s was min'd over
+    successful records only; when the batch's earliest EXECUTE belonged
+    to a failed attempt the exported header was wrong."""
+    from repro.core.submit_osg import FdwBatchResult
+    from repro.osg.metrics import DagmanSummary, JobRecord, PoolMetrics
+
+    failed = JobRecord(
+        node_name="n_A_0", dagman="d", phase="A", cluster_id=1,
+        submit_time=0.0, start_time=5.0, end_time=20.0, success=False,
+    )
+    retry = JobRecord(
+        node_name="n_A_0", dagman="d", phase="A", cluster_id=2,
+        submit_time=25.0, start_time=30.0, end_time=60.0, success=True,
+    )
+    metrics = PoolMetrics(
+        records=[failed, retry],
+        dagmans={"d": DagmanSummary(name="d", submit_time=0.0, end_time=60.0, n_jobs=1)},
+    )
+    batch_csv, jobs_csv = export_traces(FdwBatchResult(metrics=metrics), "d", tmp_path)
+    trace = read_traces(batch_csv, jobs_csv)
+    assert trace.first_execute_s == 5.0  # the failed attempt's EXECUTE
+    assert trace.n_jobs == 1  # jobs CSV still exports successes only
+    assert trace.jobs[0].start_s == 30.0
+
+
 def test_export_unknown_dagman(tmp_path, tiny_batch_result):
     with pytest.raises(TraceError):
         export_traces(tiny_batch_result, "nope", tmp_path)

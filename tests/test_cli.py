@@ -89,6 +89,36 @@ def test_dagfile(config_path, tmp_path, capsys):
     assert len(subs) >= 3  # A jobs + B + C jobs
 
 
+def test_run_local_checkpoint_and_resume(config_path, tmp_path, capsys):
+    arch = tmp_path / "arch"
+    args = ["run", str(config_path), "--local", "--archive-dir", str(arch)]
+    assert main(args + ["--checkpoint"]) == 0
+    assert (arch / "manifest.json").exists()
+    assert not (arch / "_checkpoint").exists()  # finalized
+    assert main(args + ["--resume"]) == 0
+    out = capsys.readouterr().out
+    assert "chunks" in out and "resumed" in out
+
+
+def test_recover_resubmits_remainder(config_path, tmp_path, capsys):
+    from repro.core.config import FdwConfig
+    from repro.core.workflow import build_fdw_dag
+
+    config = FdwConfig.read(config_path)
+    dag = build_fdw_dag(config)
+    # The A jobs plus the B job form a consistent DONE prefix.
+    done = [n for n in dag.node_names if "_A_" in n or "_B" in n]
+    rescue = tmp_path / "demo.dag.rescue001"
+    rescue.write_text(
+        "# Rescue DAG for demo, attempt 1\n"
+        + "".join(f"DONE {n}\n" for n in done)
+    )
+    assert main(["recover", str(config_path), str(rescue), "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert f"rescued {len(done)} completed node(s)" in out
+    assert f"resubmitting the remaining {len(dag) - len(done)}" in out
+
+
 def test_error_paths_exit_nonzero(tmp_path, capsys):
     assert main(["run", str(tmp_path / "missing.cfg")]) == 1
     assert "error:" in capsys.readouterr().err

@@ -1,0 +1,113 @@
+"""Deterministic fault-injection plans (repro.faults)."""
+
+import pytest
+
+from repro.condor.dagfile import DagDescription
+from repro.condor.jobs import JobPayload, JobSpec
+from repro.core.monitor import DagmanStats
+from repro.errors import ReproError
+from repro.faults import ChunkCrash, FaultInjected, FaultPlan, PoolFault
+from repro.osg.capacity import FixedCapacity
+from repro.osg.pool import OSPoolConfig, OSPoolSimulator, verify_exactly_once
+from repro.osg.transfer import TransferConfig
+
+
+def test_chunk_crash_validation():
+    with pytest.raises(ReproError, match="phases A/C"):
+        ChunkCrash("B", 1)
+    with pytest.raises(ReproError, match=">= 1"):
+        ChunkCrash("A", 0)
+
+
+def test_pool_fault_validation():
+    with pytest.raises(ReproError, match="unknown pool fault"):
+        PoolFault("nuke", 10.0)
+    with pytest.raises(ReproError, match=">= 0"):
+        PoolFault("evict", -1.0)
+    with pytest.raises(ReproError, match="requires a dagman"):
+        PoolFault("kill-dagman", 10.0)
+
+
+def test_seeded_plans_are_deterministic_and_mid_phase():
+    a = FaultPlan.seeded(5, n_a_chunks=10, n_c_chunks=8)
+    b = FaultPlan.seeded(5, n_a_chunks=10, n_c_chunks=8)
+    assert a.crashes == b.crashes
+    assert [c.phase for c in a.crashes] == ["A", "C"]
+    for crash, n in zip(a.crashes, (10, 8)):
+        assert 1 <= crash.after_chunks <= n - 1
+    # Different seeds explore different crash points.
+    assert any(
+        FaultPlan.seeded(s, n_a_chunks=10, n_c_chunks=8).crashes != a.crashes
+        for s in range(6, 20)
+    )
+    # Single-chunk phases get no crash (nothing mid-phase to hit).
+    assert FaultPlan.seeded(5, n_a_chunks=1, n_c_chunks=1).crashes == ()
+
+
+def test_chunk_crash_fires_exactly_once():
+    plan = FaultPlan(crashes=(ChunkCrash("A", 2),))
+    plan.chunk_completed("A")
+    with pytest.raises(FaultInjected, match="2 completed A chunk"):
+        plan.chunk_completed("A")
+    # Counters keep advancing but the crash never refires (resume leg).
+    for _ in range(5):
+        plan.chunk_completed("A")
+    plan.chunk_completed("C")  # other phases unaffected
+
+
+def _flat_dag(n_jobs, name="f"):
+    dag = DagDescription(name)
+    for i in range(n_jobs):
+        dag.add_job(
+            f"{name}_{i}",
+            JobSpec(name=f"{name}_{i}", payload=JobPayload(phase="A", n_items=1, n_stations=2)),
+        )
+    return dag
+
+
+def test_install_schedules_pool_faults(tmp_path):
+    """install() drives the simulator's injection hooks: the run sees the
+    planned evictions and holds yet still completes every node once."""
+    dag = _flat_dag(8)
+    pool = OSPoolSimulator(
+        config=OSPoolConfig(
+            transfer=TransferConfig(setup_overhead_s=1.0, include_image=False),
+            success_prob=1.0,
+            hold_release_s=20.0,
+        ),
+        capacity=FixedCapacity(4),
+        seed=0,
+        rescue_dir=tmp_path,
+    )
+    pool.submit_dagman(dag)
+    plan = FaultPlan(
+        pool_faults=(
+            PoolFault("evict", 30.0, count=2),
+            PoolFault("hold", 60.0, count=1),
+        )
+    )
+    plan.install(pool)
+    metrics = pool.run()
+    verify_exactly_once(dag, metrics)
+    stats = DagmanStats.from_log_text(pool.dagman_runs["f"].user_log.render())
+    assert sum(j.n_evictions for j in stats.jobs.values()) == 2
+    assert sum(j.n_holds for j in stats.jobs.values()) == 1
+
+
+def test_install_kill_dagman(tmp_path):
+    dag = _flat_dag(12)
+    pool = OSPoolSimulator(
+        config=OSPoolConfig(
+            transfer=TransferConfig(setup_overhead_s=1.0, include_image=False),
+            success_prob=1.0,
+        ),
+        capacity=FixedCapacity(2),
+        seed=0,
+        rescue_dir=tmp_path,
+    )
+    pool.submit_dagman(dag)
+    FaultPlan(pool_faults=(PoolFault("kill-dagman", 50.0, dagman="f"),)).install(pool)
+    pool.run()
+    run = pool.dagman_runs["f"]
+    assert run.dead
+    assert run.rescue_file is not None

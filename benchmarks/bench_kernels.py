@@ -591,3 +591,65 @@ def test_phase_c_pool_speedup_report(pool_config, tmp_path, capsys):
             f"C-phase speedup                          : {seed_s / c_s:8.2f}x\n"
             f"(full warm run incl. dist/A/B            : {full_s:8.3f} s)"
         )
+
+
+# --------------------------------------------------------------------------
+# wf-replay: WfFormat interchange + universal replay
+# --------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def wf_example_instance():
+    from pathlib import Path
+
+    from repro.wf import load_instance
+
+    path = Path(__file__).resolve().parents[1] / "examples" / "fdw64_wfformat.json"
+    return load_instance(path)
+
+
+@pytest.mark.benchmark(group="wf-replay")
+def test_wf_json_round_trip(benchmark, wf_example_instance):
+    """Serialize + reparse the bundled FDW instance — the interchange
+    hot path used by ``wf export`` / ``wf import --reexport``."""
+    from repro.wf import dumps_instance, loads_instance
+
+    text = benchmark(lambda: dumps_instance(loads_instance(dumps_instance(wf_example_instance))))
+    assert text == dumps_instance(wf_example_instance)
+
+
+@pytest.mark.benchmark(group="wf-replay")
+def test_wf_import_rebuilds_dag(benchmark, wf_example_instance):
+    from repro.wf import import_instance
+
+    imported = benchmark(import_instance, wf_example_instance)
+    assert imported.n_tasks == wf_example_instance.n_tasks
+
+
+@pytest.mark.benchmark(group="wf-replay")
+def test_wf_generate_scaled_instance(benchmark, wf_example_instance):
+    """WfChef-style scale-up to a few hundred tasks from the example."""
+    from repro.wf import generate_instance
+
+    n_tasks = max(64, int(round(512 * bench_scale())))
+    gen = benchmark(generate_instance, wf_example_instance, n_tasks, seed=0)
+    assert gen.n_tasks == n_tasks
+
+
+@pytest.mark.benchmark(group="wf-replay")
+def test_wf_trace_replay(benchmark, wf_example_instance):
+    """Replay the bundled instance through the pool simulator with the
+    recorded runtimes (trace mode)."""
+    from repro.wf import replay_instance
+
+    result = benchmark(replay_instance, wf_example_instance, seed=1)
+    assert result.makespan_s > 0
+    assert len(result.metrics.records) == wf_example_instance.n_tasks
+
+
+@pytest.mark.benchmark(group="wf-replay")
+def test_wf_replay_multi_dagman(benchmark, wf_example_instance):
+    """The 2-DAGMan partitioned replay from the paper's scaling study."""
+    from repro.wf import replay_instance
+
+    result = benchmark(replay_instance, wf_example_instance, n_dagmans=2, seed=1)
+    assert result.n_dagmans == 2

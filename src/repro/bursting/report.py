@@ -66,12 +66,17 @@ def read_throughput_csv(path: str | Path) -> np.ndarray:
         if header != ["second", "instant_throughput_jpm"]:
             raise TraceError(f"{path}: bad header {header!r}")
         values = []
-        for row in reader:
+        for lineno, row in enumerate(reader, start=2):
             if not row:
                 continue
             if len(row) != 2:
-                raise TraceError(f"{path}: bad row {row!r}")
-            values.append(float(row[1]))
+                raise TraceError(f"{path}: line {lineno}: bad row {row!r}")
+            try:
+                values.append(float(row[1]))
+            except ValueError:
+                raise TraceError(
+                    f"{path}: line {lineno}: non-numeric throughput value {row[1]!r}"
+                ) from None
     if not values:
         raise TraceError(f"{path}: no data rows")
     return np.asarray(values)

@@ -16,6 +16,10 @@ in a home directory, edit a configuration file, and run a script
     python -m repro.cli burst traces/fdw_batch.csv traces/fdw_jobs.csv \
         --probe 10 --queue-min 90                    # bursting replay
     python -m repro.cli dagfile fdw.cfg -o dag/      # write .dag + submit files
+    python -m repro.cli wf export fdw.cfg -o run.json     # run -> WfFormat JSON
+    python -m repro.cli wf import examples/fdw64_wfformat.json
+    python -m repro.cli wf generate examples/fdw64_wfformat.json -n 500 -o gen.json
+    python -m repro.cli wf replay gen.json --dagmans 4 --burst
 
 All subcommands print the monitoring/report output the paper's tooling
 produces and exit non-zero on failure.
@@ -100,6 +104,62 @@ def build_parser() -> argparse.ArgumentParser:
     p_dag = sub.add_parser("dagfile", help="write the .dag and submit files")
     p_dag.add_argument("config", type=Path)
     p_dag.add_argument("-o", "--output", type=Path, default=Path("dag"))
+
+    p_wf = sub.add_parser(
+        "wf", help="WfFormat (WfCommons) workflow interchange"
+    )
+    wf_sub = p_wf.add_subparsers(dest="wf_command", required=True)
+
+    p_wfe = wf_sub.add_parser(
+        "export", help="run the FDW on the simulated OSG and export WfFormat JSON"
+    )
+    p_wfe.add_argument("config", type=Path)
+    p_wfe.add_argument("-o", "--output", type=Path, default=Path("instance.json"))
+    p_wfe.add_argument("--seed", type=int, default=0, help="pool-side seed")
+
+    p_wfi = wf_sub.add_parser(
+        "import",
+        help="validate a WfFormat instance (e.g. examples/fdw64_wfformat.json) "
+        "and summarize the imported DAG",
+    )
+    p_wfi.add_argument("instance", type=Path)
+    p_wfi.add_argument(
+        "--reexport", type=Path, default=None,
+        help="re-serialize the imported instance here (round-trip check: the "
+        "output is byte-identical to a repro-exported input)",
+    )
+
+    p_wfg = wf_sub.add_parser(
+        "generate", help="WfChef-style synthetic scale-up of an instance"
+    )
+    p_wfg.add_argument("instance", type=Path)
+    p_wfg.add_argument("-n", "--tasks", type=int, required=True, help="target task count")
+    p_wfg.add_argument("--seed", type=int, default=0)
+    p_wfg.add_argument("-o", "--output", type=Path, default=Path("generated.json"))
+
+    p_wfr = wf_sub.add_parser(
+        "replay", help="replay an instance through the OSPool simulator"
+    )
+    p_wfr.add_argument("instance", type=Path)
+    p_wfr.add_argument(
+        "--dagmans", type=int, default=1,
+        help="concurrent DAGMans (the paper's 1/2/4/8 partitioning study)",
+    )
+    p_wfr.add_argument(
+        "--runtime", choices=("trace", "model"), default="trace",
+        help="'trace' replays recorded runtimes; 'model' uses the calibrated "
+        "stochastic model (bit-identical FDW round trip at the same seed)",
+    )
+    p_wfr.add_argument("--seed", type=int, default=0, help="pool-side seed")
+    p_wfr.add_argument("--stagger", type=float, default=0.0, help="DAGMan stagger (s)")
+    p_wfr.add_argument(
+        "--burst", action="store_true",
+        help="also run bursting Policies 1-3 over each replayed DAGMan",
+    )
+    p_wfr.add_argument(
+        "--trace-dir", type=Path, default=None,
+        help="write each DAGMan's batch/jobs bursting CSVs here",
+    )
 
     p_fig = sub.add_parser("figures", help="regenerate the paper-figure CSVs")
     p_fig.add_argument("-o", "--output", type=Path, default=Path("figures"))
@@ -256,6 +316,116 @@ def _cmd_dagfile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_wf_export(args: argparse.Namespace) -> int:
+    from repro.core.config import FdwConfig
+    from repro.core.submit_osg import run_fdw_batch
+    from repro.core.workflow import build_fdw_dag
+    from repro.wf import dump_instance, export_fdw_run
+
+    config = FdwConfig.read(args.config)
+    result = run_fdw_batch(config, seed=args.seed)
+    dag = build_fdw_dag(config)
+    instance = export_fdw_run(
+        dag,
+        result.metrics,
+        attributes={"maxIdle": config.max_idle, "poolSeed": args.seed},
+    )
+    path = dump_instance(instance, args.output)
+    print(
+        f"wrote {path}: {instance.n_tasks} tasks, {instance.n_edges()} edges, "
+        f"makespan {instance.makespan_s:.1f}s"
+    )
+    return 0
+
+
+def _cmd_wf_import(args: argparse.Namespace) -> int:
+    from repro.wf import dump_instance, import_instance
+
+    wf = import_instance(args.instance)
+    instance = wf.instance
+    counts = {
+        cat: sum(1 for t in instance.tasks if t.category == cat)
+        for cat in instance.categories()
+    }
+    categories = ", ".join(f"{cat}x{n}" for cat, n in counts.items())
+    depth = max(instance.levels().values()) + 1 if instance.tasks else 0
+    print(
+        f"{instance.name}: {wf.n_tasks} tasks, {instance.n_edges()} edges, "
+        f"{depth} level(s), {len(wf.files_mb)} files"
+    )
+    print(f"categories: {categories}")
+    if args.reexport is not None:
+        path = dump_instance(instance, args.reexport)
+        print(f"re-exported to {path}")
+    return 0
+
+
+def _cmd_wf_generate(args: argparse.Namespace) -> int:
+    from repro.wf import dump_instance, generate_instance, load_instance
+
+    source = load_instance(args.instance)
+    instance = generate_instance(source, args.tasks, args.seed)
+    path = dump_instance(instance, args.output)
+    print(
+        f"wrote {path}: {instance.n_tasks} tasks, {instance.n_edges()} edges "
+        f"(generated from {source.name!r}, seed {args.seed})"
+    )
+    return 0
+
+
+def _cmd_wf_replay(args: argparse.Namespace) -> int:
+    from repro.bursting import render_report
+    from repro.core.traces import render_trace_csvs
+    from repro.units import format_duration
+    from repro.wf import metrics_to_batch_trace, replay_bursting, replay_instance
+
+    result = replay_instance(
+        args.instance,
+        n_dagmans=args.dagmans,
+        seed=args.seed,
+        runtime=args.runtime,
+        stagger_s=args.stagger,
+    )
+    for name in result.dagman_names:
+        summary = result.metrics.dagmans[name]
+        print(
+            f"{name}: {summary.n_jobs} jobs in "
+            f"{format_duration(summary.runtime_s)} "
+            f"({summary.throughput_jpm:.2f} jobs/min)"
+        )
+    print(
+        f"replay makespan {format_duration(result.makespan_s)} "
+        f"({result.n_dagmans} DAGMan(s), runtime mode {result.runtime_mode!r})"
+    )
+    if args.trace_dir is not None:
+        args.trace_dir.mkdir(parents=True, exist_ok=True)
+        for name in result.dagman_names:
+            trace = metrics_to_batch_trace(result.metrics, name)
+            batch_text, jobs_text = render_trace_csvs(trace)
+            batch_csv = args.trace_dir / f"{name}_batch.csv"
+            jobs_csv = args.trace_dir / f"{name}_jobs.csv"
+            batch_csv.write_text(batch_text)
+            jobs_csv.write_text(jobs_text)
+            print(f"wrote {batch_csv} and {jobs_csv}")
+    if args.burst:
+        for name, burst in replay_bursting(result).items():
+            print()
+            print(render_report(burst))
+    return 0
+
+
+def _cmd_wf(args: argparse.Namespace) -> int:
+    return _WF_COMMANDS[args.wf_command](args)
+
+
+_WF_COMMANDS = {
+    "export": _cmd_wf_export,
+    "import": _cmd_wf_import,
+    "generate": _cmd_wf_generate,
+    "replay": _cmd_wf_replay,
+}
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.core.figures import export_all_figures
 
@@ -272,6 +442,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "burst": _cmd_burst,
     "dagfile": _cmd_dagfile,
+    "wf": _cmd_wf,
     "figures": _cmd_figures,
 }
 

@@ -189,8 +189,20 @@ class DagDescription:
         return [n for n in self._nodes if self._graph.in_degree(n) == 0]
 
     def topological_order(self) -> list[str]:
-        """A topological ordering of node names."""
-        return list(nx.topological_sort(self._graph))
+        """A topological ordering of node names.
+
+        Raises
+        ------
+        DagError
+            If the DAG contains a cycle (instead of leaking networkx's
+            ``NetworkXUnfeasible``).
+        """
+        try:
+            return list(nx.topological_sort(self._graph))
+        except nx.NetworkXUnfeasible:
+            raise DagError(
+                f"DAG {self.name!r} contains a cycle; no topological order exists"
+            ) from None
 
     def validate(self) -> None:
         """Raise :class:`DagError` if the DAG is empty or cyclic."""

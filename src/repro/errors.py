@@ -26,6 +26,7 @@ __all__ = [
     "CapacityError",
     "TraceError",
     "PolicyError",
+    "WfFormatError",
     "CatalogError",
     "StorageError",
     "PortalError",
@@ -114,6 +115,13 @@ class TraceError(ReproError):
 
 class PolicyError(ReproError):
     """A bursting policy was configured with invalid parameters."""
+
+
+# --- wf -------------------------------------------------------------------
+
+
+class WfFormatError(ReproError):
+    """A WfFormat workflow instance is malformed or inconsistent."""
 
 
 # --- vdc ------------------------------------------------------------------

@@ -15,6 +15,7 @@ instant-throughput traces and is ablated by ``bench_ablation_cache``.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -45,6 +46,13 @@ class TransferConfig:
     include_image:
         Charge the Singularity image on every job (it is cached like any
         other file).
+    max_entries_per_site:
+        Optional cap on warm entries per cache site. When set, each site
+        evicts its least-recently-used file once the cap is exceeded
+        (real Stash caches have finite disk); evicted files pay origin
+        bandwidth again on their next delivery. ``None`` (default)
+        disables eviction entirely, preserving the unbounded-cache
+        behaviour bit-identically.
     """
 
     origin_mb_per_s: float = 25.0
@@ -52,6 +60,7 @@ class TransferConfig:
     n_cache_sites: int = 12
     setup_overhead_s: float = 35.0
     include_image: bool = True
+    max_entries_per_site: int | None = None
 
     def __post_init__(self) -> None:
         if self.origin_mb_per_s <= 0 or self.cache_mb_per_s <= 0:
@@ -60,6 +69,11 @@ class TransferConfig:
             raise SimulationError("need at least one cache site")
         if self.setup_overhead_s < 0:
             raise SimulationError("setup overhead must be non-negative")
+        if self.max_entries_per_site is not None and self.max_entries_per_site < 1:
+            raise SimulationError(
+                f"max_entries_per_site must be >= 1 or None, "
+                f"got {self.max_entries_per_site}"
+            )
 
 
 class StashCache:
@@ -67,9 +81,13 @@ class StashCache:
 
     def __init__(self, config: TransferConfig | None = None) -> None:
         self.config = config or TransferConfig()
-        self._warm: set[tuple[str, int]] = set()
+        # Per-site LRU ordering: oldest entry first. Without a
+        # max_entries_per_site cap nothing is ever evicted and the dicts
+        # behave exactly like the former (file, site) membership set.
+        self._warm: dict[int, OrderedDict[str, None]] = {}
         self.n_cold_transfers = 0
         self.n_warm_transfers = 0
+        self.n_evictions = 0
         self.total_transfer_seconds = 0.0
 
     def reset(self) -> None:
@@ -77,11 +95,12 @@ class StashCache:
         self._warm.clear()
         self.n_cold_transfers = 0
         self.n_warm_transfers = 0
+        self.n_evictions = 0
         self.total_transfer_seconds = 0.0
 
     def is_warm(self, filename: str, site: int) -> bool:
         """True when ``filename`` is cached at ``site``."""
-        return (filename, site) in self._warm
+        return filename in self._warm.get(site, ())
 
     def transfer_time(self, spec: JobSpec, rng: np.random.Generator) -> float:
         """Seconds to stage all of a job's inputs at a random site.
@@ -95,16 +114,24 @@ class StashCache:
         files = dict(spec.input_files)
         if cfg.include_image:
             files.setdefault("singularity.sif", SINGULARITY_IMAGE_MB)
+        site_cache = self._warm.setdefault(site, OrderedDict())
         for filename, size_mb in files.items():
             if size_mb < 0:
                 raise SimulationError(f"negative file size for {filename!r}")
-            if self.is_warm(filename, site):
+            if filename in site_cache:
                 bw = cfg.cache_mb_per_s
                 self.n_warm_transfers += 1
+                site_cache.move_to_end(filename)
             else:
                 bw = cfg.origin_mb_per_s
-                self._warm.add((filename, site))
+                site_cache[filename] = None
                 self.n_cold_transfers += 1
+                if (
+                    cfg.max_entries_per_site is not None
+                    and len(site_cache) > cfg.max_entries_per_site
+                ):
+                    site_cache.popitem(last=False)
+                    self.n_evictions += 1
             total += size_mb / bw
         # Bandwidth-bound time only; the fixed setup overhead is not a
         # transfer and would dilute cache-efficiency accounting.

@@ -1,0 +1,144 @@
+"""Export completed runs as WfFormat instances.
+
+Serializes a :class:`~repro.condor.dagfile.DagDescription` plus the
+per-node runtimes observed by a pool run
+(:class:`~repro.osg.metrics.PoolMetrics`, or any name->seconds mapping,
+e.g. one derived from :class:`~repro.core.monitor.JobTiming`) into a
+:class:`~repro.wf.schema.WfInstance`. Everything the simulators need to
+reproduce the run bit-identically round-trips: task order, edges,
+retries, FDW payloads, commands, resource requests, and input-file
+sizes (MB -> bytes conversion is exact, see :mod:`repro.wf.schema`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.errors import WfFormatError
+from repro.condor.dagfile import DagDescription
+from repro.osg.metrics import PoolMetrics
+from repro.wf.schema import WfFile, WfInstance, WfMachine, WfPayload, WfTask
+
+__all__ = [
+    "instance_from_dag",
+    "export_fdw_run",
+    "runtimes_from_metrics",
+]
+
+#: Default machine entry for instances exported from the pool simulator
+#: (the calibrated 4-core OSG node of the runtime model).
+_OSG_MACHINE = WfMachine(name="ospool-sim", cpu_cores=4)
+
+
+def runtimes_from_metrics(
+    metrics: PoolMetrics, dagman: str | None = None
+) -> dict[str, float]:
+    """Per-node observed runtimes: the successful attempt's wall time.
+
+    Raises
+    ------
+    WfFormatError
+        When a node succeeded more than once (merged metrics from
+        overlapping attempts would silently pick one).
+    """
+    runtimes: dict[str, float] = {}
+    for record in metrics.records:
+        if dagman is not None and record.dagman != dagman:
+            continue
+        if not record.success:
+            continue
+        if record.node_name in runtimes:
+            raise WfFormatError(
+                f"node {record.node_name!r} succeeded more than once in the metrics"
+            )
+        runtimes[record.node_name] = record.exec_s
+    return runtimes
+
+
+def instance_from_dag(
+    dag: DagDescription,
+    runtimes: Mapping[str, float],
+    *,
+    name: str | None = None,
+    description: str = "",
+    makespan_s: float | None = None,
+    attributes: dict[str, object] | None = None,
+) -> WfInstance:
+    """Build a WfFormat instance from a DAG and per-node runtimes.
+
+    Every DAG node must have a runtime; task order follows the DAG's
+    node insertion order so an import rebuilds the exact same
+    :class:`~repro.condor.dagman.DagmanEngine` ready-FIFO.
+    """
+    missing = [n for n in dag.node_names if n not in runtimes]
+    if missing:
+        raise WfFormatError(
+            f"no runtime for {len(missing)} node(s), e.g. {missing[:3]} — "
+            "export requires a completed run"
+        )
+    tasks = []
+    for node_name in dag.node_names:
+        node = dag.node(node_name)
+        spec = node.spec
+        payload = None
+        if spec.payload is not None:
+            payload = WfPayload(
+                phase=spec.payload.phase,
+                n_items=spec.payload.n_items,
+                n_stations=spec.payload.n_stations,
+            )
+        tasks.append(
+            WfTask(
+                name=node_name,
+                category=spec.payload.phase if spec.payload else "generic",
+                runtime_s=float(runtimes[node_name]),
+                parents=tuple(dag.parents(node_name)),
+                children=tuple(dag.children(node_name)),
+                files=tuple(
+                    WfFile(name=fname, size_bytes=size_mb * 1048576.0, link="input")
+                    for fname, size_mb in spec.input_files.items()
+                ),
+                cores=spec.request_cpus,
+                memory_mb=spec.request_memory_mb,
+                retries=node.retries,
+                program=spec.executable,
+                arguments=tuple(spec.arguments.split()),
+                payload=payload,
+            )
+        )
+    return WfInstance(
+        name=name or dag.name,
+        description=description,
+        tasks=tuple(tasks),
+        makespan_s=makespan_s,
+        machines=(_OSG_MACHINE,),
+        attributes=dict(attributes or {}),
+    )
+
+
+def export_fdw_run(
+    dag: DagDescription,
+    metrics: PoolMetrics,
+    dagman: str | None = None,
+    *,
+    attributes: dict[str, object] | None = None,
+) -> WfInstance:
+    """Export one completed DAGMan of a pool run.
+
+    ``dagman`` defaults to the DAG's own name. The instance records the
+    DAGMan's makespan and each node's observed (successful-attempt)
+    runtime.
+    """
+    dagman = dagman or dag.name
+    summary = metrics.dagmans.get(dagman)
+    if summary is None:
+        raise WfFormatError(f"no DAGMan {dagman!r} in the metrics")
+    runtimes = runtimes_from_metrics(metrics, dagman)
+    return instance_from_dag(
+        dag,
+        runtimes,
+        name=dagman,
+        description=f"FDW run exported from the OSPool simulator ({dagman})",
+        makespan_s=summary.runtime_s,
+        attributes=attributes,
+    )

@@ -82,3 +82,23 @@ def test_read_empty_csv(tmp_path):
     path.write_text("second,instant_throughput_jpm\n")
     with pytest.raises(TraceError):
         read_throughput_csv(path)
+
+
+def test_read_non_numeric_value_reports_line(tmp_path):
+    path = tmp_path / "bad_value.csv"
+    path.write_text(
+        "second,instant_throughput_jpm\n1,2.5\n2,not-a-number\n3,4.0\n"
+    )
+    with pytest.raises(TraceError) as excinfo:
+        read_throughput_csv(path)
+    message = str(excinfo.value)
+    assert str(path) in message
+    assert "line 3" in message
+    assert "not-a-number" in message
+
+
+def test_read_short_row_reports_line(tmp_path):
+    path = tmp_path / "bad_row.csv"
+    path.write_text("second,instant_throughput_jpm\n1,2.5\n2\n")
+    with pytest.raises(TraceError, match="line 3"):
+        read_throughput_csv(path)

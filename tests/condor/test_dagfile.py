@@ -147,3 +147,28 @@ def test_multi_parent_child_line(tmp_path):
     dag_path.write_text("JOB a a.sub\nJOB b b.sub\nJOB c c.sub\nPARENT a b CHILD c\n")
     dag = DagDescription.read(dag_path)
     assert dag.parents("c") == ["a", "b"]
+
+
+def test_topological_order_disconnected_multi_root():
+    # Two independent components: (a -> b) and (x -> y), plus a lone node.
+    dag = DagDescription("forest")
+    for n in ("a", "b", "x", "y", "lone"):
+        dag.add_job(n, spec(n))
+    dag.add_edge("a", "b")
+    dag.add_edge("x", "y")
+    order = dag.topological_order()
+    assert sorted(order) == ["a", "b", "lone", "x", "y"]
+    assert order.index("a") < order.index("b")
+    assert order.index("x") < order.index("y")
+    assert sorted(dag.roots()) == ["a", "lone", "x"]
+
+
+def test_topological_order_on_cycle_raises_dag_error():
+    dag = DagDescription("loop")
+    for n in ("a", "b", "c"):
+        dag.add_job(n, spec(n))
+    dag.add_edge("a", "b")
+    dag.add_edge("b", "c")
+    dag.add_edge("c", "a")  # no per-edge check: the cycle lands silently
+    with pytest.raises(DagError, match="cycle"):
+        dag.topological_order()

@@ -87,3 +87,78 @@ def test_config_validation():
 def test_cold_transfer_slower_than_warm():
     cfg = TransferConfig()
     assert cfg.origin_mb_per_s < cfg.cache_mb_per_s
+
+
+def test_lru_eviction_refetches_from_origin():
+    cache = one_site_cache(
+        origin_mb_per_s=10.0, cache_mb_per_s=100.0,
+        include_image=False, max_entries_per_site=2,
+    )
+    rng = np.random.default_rng(0)
+    cache.transfer_time(spec({"f1": 100.0, "f2": 100.0}), rng)
+    assert cache.n_evictions == 0
+    # f3 exceeds the cap: f1 (least recently used) is evicted.
+    cache.transfer_time(spec({"f3": 100.0}), rng)
+    assert cache.n_evictions == 1
+    assert not cache.is_warm("f1", 0)
+    assert cache.is_warm("f2", 0)
+    assert cache.is_warm("f3", 0)
+    # f1 now pays origin bandwidth again.
+    t = cache.transfer_time(spec({"f1": 100.0}), rng)
+    assert t == pytest.approx(10.0)
+
+
+def test_lru_recency_updated_on_warm_hit():
+    cache = one_site_cache(include_image=False, max_entries_per_site=2)
+    rng = np.random.default_rng(0)
+    cache.transfer_time(spec({"f1": 1.0}), rng)
+    cache.transfer_time(spec({"f2": 1.0}), rng)
+    cache.transfer_time(spec({"f1": 1.0}), rng)  # touch f1: f2 becomes LRU
+    cache.transfer_time(spec({"f3": 1.0}), rng)
+    assert cache.is_warm("f1", 0)
+    assert not cache.is_warm("f2", 0)
+    assert cache.is_warm("f3", 0)
+
+
+def test_no_cap_means_no_evictions():
+    cache = one_site_cache(include_image=False)
+    rng = np.random.default_rng(0)
+    for i in range(50):
+        cache.transfer_time(spec({f"f{i}": 1.0}), rng)
+    assert cache.n_evictions == 0
+    assert all(cache.is_warm(f"f{i}", 0) for i in range(50))
+
+
+def test_default_config_transfer_times_unchanged_by_lru_code():
+    # max_entries_per_site=None must be bit-identical to the pre-LRU cache.
+    files = {"a": 123.0, "b": 7.5, "c": 900.0}
+    times_default = []
+    times_huge_cap = []
+    for cfg_kw, out in (
+        (dict(), times_default),
+        (dict(max_entries_per_site=10_000), times_huge_cap),
+    ):
+        cache = StashCache(TransferConfig(n_cache_sites=3, **cfg_kw))
+        rng = np.random.default_rng(5)
+        for _ in range(30):
+            out.append(cache.transfer_time(spec(dict(files)), rng))
+    assert times_default == times_huge_cap
+
+
+def test_reset_clears_evictions():
+    cache = one_site_cache(include_image=False, max_entries_per_site=1)
+    rng = np.random.default_rng(0)
+    cache.transfer_time(spec({"f1": 1.0, "f2": 1.0}), rng)
+    assert cache.n_evictions == 1
+    cache.reset()
+    assert cache.n_evictions == 0
+    assert not cache.is_warm("f2", 0)
+
+
+def test_max_entries_validation():
+    with pytest.raises(SimulationError):
+        TransferConfig(max_entries_per_site=0)
+    with pytest.raises(SimulationError):
+        TransferConfig(max_entries_per_site=-3)
+    assert TransferConfig(max_entries_per_site=None).max_entries_per_site is None
+    assert TransferConfig(max_entries_per_site=1).max_entries_per_site == 1

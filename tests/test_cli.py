@@ -123,3 +123,55 @@ def test_error_paths_exit_nonzero(tmp_path, capsys):
     assert main(["run", str(tmp_path / "missing.cfg")]) == 1
     assert "error:" in capsys.readouterr().err
     assert main(["burst", str(tmp_path / "a.csv"), str(tmp_path / "b.csv")]) == 1
+
+
+class TestWfCommands:
+    def test_wf_export_import_round_trip(self, config_path, tmp_path, capsys):
+        instance_json = tmp_path / "run.json"
+        assert main(
+            ["wf", "export", str(config_path), "-o", str(instance_json), "--seed", "3"]
+        ) == 0
+        assert instance_json.exists()
+        reexport = tmp_path / "rt.json"
+        assert main(
+            ["wf", "import", str(instance_json), "--reexport", str(reexport)]
+        ) == 0
+        assert reexport.read_text() == instance_json.read_text()
+        out = capsys.readouterr().out
+        assert "tasks" in out and "categories" in out
+
+    def test_wf_generate_deterministic(self, config_path, tmp_path):
+        instance_json = tmp_path / "run.json"
+        assert main(
+            ["wf", "export", str(config_path), "-o", str(instance_json)]
+        ) == 0
+        gen_a = tmp_path / "gen_a.json"
+        gen_b = tmp_path / "gen_b.json"
+        for out in (gen_a, gen_b):
+            assert main(
+                ["wf", "generate", str(instance_json),
+                 "-n", "40", "--seed", "9", "-o", str(out)]
+            ) == 0
+        assert gen_a.read_text() == gen_b.read_text()
+
+    def test_wf_replay_with_burst_and_traces(self, config_path, tmp_path, capsys):
+        instance_json = tmp_path / "run.json"
+        assert main(
+            ["wf", "export", str(config_path), "-o", str(instance_json)]
+        ) == 0
+        trace_dir = tmp_path / "traces"
+        assert main(
+            ["wf", "replay", str(instance_json), "--dagmans", "2",
+             "--burst", "--trace-dir", str(trace_dir), "--seed", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "replay makespan" in out
+        assert out.count("=== VDC bursting simulation") == 2
+        assert len(list(trace_dir.glob("*_batch.csv"))) == 2
+        assert len(list(trace_dir.glob("*_jobs.csv"))) == 2
+
+    def test_wf_import_error_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not valid json")
+        assert main(["wf", "import", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err

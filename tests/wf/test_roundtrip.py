@@ -1,0 +1,146 @@
+"""Export -> import -> replay round trip (the subsystem's contract).
+
+The exported instance must rebuild the exact FDW DAG (names, edges,
+retries), survive JSON serialization byte-identically, and — replayed
+in model mode with the same pool configuration, capacity process, and
+seed — reproduce the original simulated makespan bit-identically.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import WfFormatError
+from repro.core.workflow import build_fdw_dag
+from repro.osg.capacity import FixedCapacity
+from repro.osg.metrics import JobRecord, PoolMetrics
+from repro.wf import (
+    dumps_instance,
+    export_fdw_run,
+    import_instance,
+    instance_from_dag,
+    load_instance,
+    loads_instance,
+    replay_instance,
+    runtimes_from_metrics,
+)
+
+EXAMPLE = Path(__file__).resolve().parents[2] / "examples" / "fdw64_wfformat.json"
+
+
+@pytest.fixture(scope="module")
+def exported(tiny_fdw_config, tiny_batch_result):
+    dag = build_fdw_dag(tiny_fdw_config)
+    instance = export_fdw_run(
+        dag,
+        tiny_batch_result.metrics,
+        attributes={"maxIdle": tiny_fdw_config.max_idle},
+    )
+    return dag, instance
+
+
+class TestExport:
+    def test_exports_every_node_with_runtime(self, exported, tiny_batch_result):
+        dag, instance = exported
+        assert instance.n_tasks == len(dag)
+        runtimes = runtimes_from_metrics(tiny_batch_result.metrics)
+        for task in instance.tasks:
+            assert task.runtime_s == runtimes[task.name]
+
+    def test_makespan_matches_summary(self, exported, tiny_batch_result, tiny_fdw_config):
+        _, instance = exported
+        summary = tiny_batch_result.metrics.dagmans[tiny_fdw_config.name]
+        assert instance.makespan_s == summary.runtime_s
+
+    def test_missing_runtime_rejected(self, exported):
+        dag, _ = exported
+        with pytest.raises(WfFormatError, match="no runtime"):
+            instance_from_dag(dag, {})
+
+    def test_duplicate_success_rejected(self):
+        rec = dict(
+            dagman="d", phase="A", cluster_id=1, submit_time=0.0,
+            start_time=1.0, end_time=2.0, n_evictions=0, success=True,
+        )
+        metrics = PoolMetrics(
+            records=[
+                JobRecord(node_name="n", **rec),
+                JobRecord(node_name="n", **rec),
+            ],
+            dagmans={},
+            capacity_trace=[],
+        )
+        with pytest.raises(WfFormatError, match="more than once"):
+            runtimes_from_metrics(metrics)
+
+
+class TestRoundTrip:
+    def test_import_rebuilds_identical_dag(self, exported):
+        dag, instance = exported
+        imported = import_instance(instance)
+        assert imported.dag.node_names == dag.node_names
+        for name in dag.node_names:
+            assert imported.dag.parents(name) == dag.parents(name)
+            assert imported.dag.children(name) == dag.children(name)
+            assert imported.dag.node(name).retries == dag.node(name).retries
+            orig = dag.node(name).spec
+            spec = imported.dag.node(name).spec
+            assert spec.input_files == orig.input_files
+            assert spec.payload == orig.payload
+            assert spec.executable == orig.executable
+
+    def test_json_round_trip_byte_identical(self, exported):
+        _, instance = exported
+        text = dumps_instance(instance)
+        assert dumps_instance(loads_instance(text)) == text
+
+    def test_model_replay_reproduces_makespan_bit_identically(
+        self, exported, tiny_batch_result, tiny_fdw_config
+    ):
+        _, instance = exported
+        # Same pool knobs as the tiny_batch_result fixture.
+        result = replay_instance(
+            loads_instance(dumps_instance(instance)),
+            runtime="model",
+            seed=42,
+            capacity=FixedCapacity(slots=24),
+        )
+        original = tiny_batch_result.metrics.dagmans[tiny_fdw_config.name]
+        assert result.makespan_s == original.runtime_s
+        # Per-record equality, not just the aggregate.
+        orig_records = {
+            (r.node_name, r.cluster_id): (r.start_time, r.end_time)
+            for r in tiny_batch_result.metrics.records
+        }
+        new_records = {
+            (r.node_name, r.cluster_id): (r.start_time, r.end_time)
+            for r in result.metrics.records
+        }
+        assert new_records == orig_records
+
+    def test_trace_replay_runs_every_task_once(self, exported):
+        _, instance = exported
+        result = replay_instance(instance, runtime="trace", seed=7)
+        assert len(result.metrics.records) == instance.n_tasks
+        assert all(r.success for r in result.metrics.records)
+
+
+class TestBundledExample:
+    def test_example_exists_and_validates(self):
+        instance = load_instance(EXAMPLE)
+        assert instance.name == "fdw64"
+        assert instance.n_tasks == 37  # 4 A + 1 B + 32 C
+        assert instance.categories() == ["A", "B", "C"]
+        assert instance.attributes["maxIdle"] == 500
+
+    def test_example_reexports_byte_identically(self):
+        text = EXAMPLE.read_text()
+        assert dumps_instance(loads_instance(text, source=str(EXAMPLE))) == text
+
+    def test_example_imports_and_replays(self):
+        imported = import_instance(EXAMPLE)
+        result = replay_instance(imported, runtime="trace", seed=1)
+        assert result.makespan_s > 0
+        assert len(result.metrics.records) == 37

@@ -1,0 +1,179 @@
+"""Million-job DES scaling: vectorized pool engine vs. the reference loop.
+
+The ``bench-des-scale`` group tracks the struct-of-arrays event core at
+the scales the paper's cyberinfrastructure argument actually needs:
+
+* a 100k-task instance (generated from the bundled FDW pattern with the
+  WfChef-style scaler) replayed in trace mode under both pool engines on
+  a pool wide enough to run a whole DAG level concurrently — the design
+  point where the reference loop's per-completion running-list rebuild
+  turns quadratic, and
+* a million-task instance replayed in model mode under the vectorized
+  engine — the "does a week of OSPool fit in a coffee break" headline.
+
+Both arms record jobs/sec and peak RSS in the pytest-benchmark
+``extra_info`` (archived as the BENCH_kernels artifact). The >=20x
+speedup acceptance gate is asserted only at full scale
+(``FDW_BENCH_SCALE=1``): at smoke scale the concurrent level width —
+and with it the reference engine's quadratic term — shrinks linearly,
+so the ratio there is a trend signal, not the acceptance number.
+
+Instance generation and WfFormat import happen in module fixtures; the
+timed region is submit + run only.
+"""
+
+from __future__ import annotations
+
+import resource
+import time
+from pathlib import Path
+
+import pytest
+
+from _common import bench_scale
+from repro.condor.dagman import DagmanOptions
+from repro.osg.capacity import FixedCapacity
+from repro.osg.negotiator import NegotiatorConfig
+from repro.osg.pool import OSPoolConfig
+from repro.wf import generate_instance, import_instance, load_instance, replay_instance
+
+N_100K = max(1_000, round(100_000 * bench_scale()))
+N_1M = max(2_000, round(1_000_000 * bench_scale()))
+
+#: Slots in the million-task model-mode arm: a large opportunistic pool,
+#: deliberately far below the task count so negotiation cycles, claim
+#: reuse, and the DAGMan throttles all stay on the hot path.
+MODEL_POOL_SLOTS = 20_000
+
+#: Cross-arm results: elapsed seconds and makespans, keyed by arm name.
+RESULTS: dict[str, dict[str, float]] = {}
+
+
+def peak_rss_mb() -> float:
+    """Peak RSS of this process so far, in MB (Linux: ru_maxrss is KB)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def wide_pool_config(n_slots: int) -> OSPoolConfig:
+    """A pool that can start a whole submit cycle's worth of jobs."""
+    return OSPoolConfig(
+        negotiator=NegotiatorConfig(cycle_s=60.0, match_limit_per_cycle=n_slots),
+    )
+
+
+def wide_options(n_tasks: int) -> DagmanOptions:
+    return DagmanOptions(max_idle=0, submit_batch=max(1, n_tasks))
+
+
+@pytest.fixture(scope="module")
+def fdw64():
+    path = Path(__file__).resolve().parents[1] / "examples" / "fdw64_wfformat.json"
+    return load_instance(path)
+
+
+@pytest.fixture(scope="module")
+def imported_100k(fdw64):
+    return import_instance(generate_instance(fdw64, N_100K, seed=1))
+
+
+@pytest.fixture(scope="module")
+def imported_1m(fdw64):
+    return import_instance(generate_instance(fdw64, N_1M, seed=2))
+
+
+def timed_replay(arm, workflow, n_tasks, engine, runtime, n_slots):
+    start = time.perf_counter()
+    result = replay_instance(
+        workflow,
+        seed=0,
+        runtime=runtime,
+        config=wide_pool_config(n_slots),
+        capacity=FixedCapacity(n_slots),
+        options=wide_options(n_tasks),
+        engine=engine,
+    )
+    elapsed = time.perf_counter() - start
+    RESULTS[arm] = {
+        "elapsed_s": elapsed,
+        "jobs_per_s": len(result.metrics.records) / elapsed,
+        "makespan_s": result.makespan_s,
+    }
+    return result
+
+
+def run_arm(benchmark, arm, workflow, n_tasks, engine, runtime, n_slots):
+    result = benchmark.pedantic(
+        timed_replay,
+        args=(arm, workflow, n_tasks, engine, runtime, n_slots),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result.metrics.records) >= n_tasks  # every task completed
+    benchmark.extra_info["n_tasks"] = n_tasks
+    benchmark.extra_info["engine"] = engine
+    benchmark.extra_info["runtime_mode"] = runtime
+    benchmark.extra_info["jobs_per_s"] = round(RESULTS[arm]["jobs_per_s"], 1)
+    benchmark.extra_info["makespan_s"] = RESULTS[arm]["makespan_s"]
+    benchmark.extra_info["peak_rss_mb"] = round(peak_rss_mb(), 1)
+    return result
+
+
+@pytest.mark.benchmark(group="bench-des-scale")
+def test_100k_trace_reference_engine(benchmark, imported_100k):
+    """Baseline: the seed's one-object-per-job loop at 100k tasks."""
+    run_arm(
+        benchmark, "100k-reference", imported_100k, N_100K,
+        engine="reference", runtime="trace", n_slots=N_100K,
+    )
+
+
+@pytest.mark.benchmark(group="bench-des-scale")
+def test_100k_trace_vector_engine(benchmark, imported_100k):
+    """The struct-of-arrays engine on the identical workload."""
+    run_arm(
+        benchmark, "100k-vector", imported_100k, N_100K,
+        engine="vector", runtime="trace", n_slots=N_100K,
+    )
+    # Bit-identity at scale: same makespan as the reference arm.
+    if "100k-reference" in RESULTS:
+        assert (
+            RESULTS["100k-vector"]["makespan_s"]
+            == RESULTS["100k-reference"]["makespan_s"]
+        )
+
+
+@pytest.mark.benchmark(group="bench-des-scale")
+def test_million_model_vector_engine(benchmark, imported_1m):
+    """A million model-mode jobs through the vectorized engine."""
+    run_arm(
+        benchmark, "1m-vector", imported_1m, N_1M,
+        engine="vector", runtime="model", n_slots=MODEL_POOL_SLOTS,
+    )
+
+
+def test_des_scale_speedup_report(capsys):
+    """Speedup table; asserts the >=20x acceptance gate at full scale."""
+    if "100k-reference" not in RESULTS or "100k-vector" not in RESULTS:
+        pytest.skip("run together with the bench-des-scale benchmarks")
+    ref, vec = RESULTS["100k-reference"], RESULTS["100k-vector"]
+    speedup = ref["elapsed_s"] / vec["elapsed_s"]
+    with capsys.disabled():
+        print()
+        print("### DES scaling: reference vs. vectorized pool engine")
+        print(f"{'arm':<18}{'tasks':>10}{'elapsed':>10}{'jobs/s':>12}")
+        print("-" * 50)
+        for arm, n in (
+            ("100k-reference", N_100K),
+            ("100k-vector", N_100K),
+            ("1m-vector", N_1M),
+        ):
+            if arm in RESULTS:
+                r = RESULTS[arm]
+                print(
+                    f"{arm:<18}{n:>10}{r['elapsed_s']:>9.2f}s"
+                    f"{r['jobs_per_s']:>12,.0f}"
+                )
+        print(f"100k trace-mode speedup: {speedup:.1f}x (peak RSS {peak_rss_mb():.0f} MB)")
+    assert vec["makespan_s"] == ref["makespan_s"]
+    if bench_scale() >= 1.0:
+        assert speedup >= 20.0

@@ -16,6 +16,7 @@ calls :meth:`pull_submissions` and reports results with
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass
 
 from repro.errors import DagError
@@ -78,7 +79,9 @@ class DagmanEngine:
         self._status: dict[str, NodeStatus] = {}
         self._remaining_parents: dict[str, int] = {}
         self._retries_left: dict[str, int] = {}
-        self._ready_fifo: list[str] = []
+        # A deque: at million-root scale, pull_submissions slicing a
+        # list left-shifts every remaining name each cycle (quadratic).
+        self._ready_fifo: deque[str] = deque()
         self._n_done = 0
         self._n_failed = 0
         for name in dag.topological_order():
@@ -148,8 +151,8 @@ class DagmanEngine:
         if self.options.max_idle:
             budget = min(budget, max(0, self.options.max_idle - current_idle))
         n = min(budget, len(self._ready_fifo))
-        batch = self._ready_fifo[:n]
-        del self._ready_fifo[:n]
+        popleft = self._ready_fifo.popleft
+        batch = [popleft() for _ in range(n)]
         for name in batch:
             self._status[name] = NodeStatus.SUBMITTED
         return batch

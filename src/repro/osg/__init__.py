@@ -12,7 +12,9 @@ subpackage models exactly those mechanisms:
 * :mod:`repro.osg.runtimes` — job execution-time sampling calibrated to
   the paper's observed phase costs,
 * :mod:`repro.osg.schedd` / :mod:`repro.osg.negotiator` — queueing and
-  matchmaking,
+  matchmaking (scalar oracle plus the vectorized cycle matcher),
+* :mod:`repro.osg.jobtable` — struct-of-arrays job state behind the
+  vectorized pool engine,
 * :mod:`repro.osg.metrics` — per-job and per-second statistics,
 * :mod:`repro.osg.pool` — the :class:`OSPoolSimulator` facade that runs
   DAGMan engines to completion.
@@ -23,7 +25,9 @@ documented in DESIGN.md.
 
 from repro.osg.capacity import CapacityProcess, FixedCapacity, MarkovModulatedCapacity
 from repro.osg.des import EventHandle, Simulator
+from repro.osg.jobtable import JobTable, JobView
 from repro.osg.metrics import JobRecord, PoolMetrics
+from repro.osg.negotiator import NegotiatorConfig, negotiate, negotiate_vectorized
 from repro.osg.pool import DagmanRun, OSPoolConfig, OSPoolSimulator
 from repro.osg.runtimes import RuntimeModel
 from repro.osg.transfer import StashCache, TransferConfig
@@ -34,7 +38,10 @@ __all__ = [
     "EventHandle",
     "FixedCapacity",
     "JobRecord",
+    "JobTable",
+    "JobView",
     "MarkovModulatedCapacity",
+    "NegotiatorConfig",
     "OSPoolConfig",
     "OSPoolSimulator",
     "PoolMetrics",
@@ -42,4 +49,6 @@ __all__ = [
     "Simulator",
     "StashCache",
     "TransferConfig",
+    "negotiate",
+    "negotiate_vectorized",
 ]

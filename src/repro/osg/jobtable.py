@@ -1,0 +1,246 @@
+"""Struct-of-arrays job state for the vectorized pool engine.
+
+At million-job scale, one :class:`~repro.condor.jobs.Job` dataclass per
+job attempt dominates memory and allocator time. :class:`JobTable`
+stores the dynamic record columnwise instead — numpy arrays for state,
+timestamps, sampled runtime, retries, slot, cluster id, and owning
+DAGMan index, plus parallel Python lists for the spec and node name —
+and :class:`JobView` is a two-word handle that duck-types ``Job`` over
+one row. Everything downstream of the simulator (schedd queues,
+``DagmanRun.jobs``, metrics, rescue, fault injection) accepts a view
+wherever it accepted a ``Job``.
+
+The state machine is *identical* to ``Job.transition``: same legal
+transition table, same timestamp side effects (submit set on first
+IDLE, start set on RUNNING, start/slot cleared on re-queue, end set on
+the terminal states), same :class:`~repro.errors.JobStateError` on
+illegal moves. The bit-identical reference-vs-vector pool tests lean on
+this equivalence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import JobStateError
+from repro.condor.jobs import JobSpec, JobState, _TRANSITIONS
+
+__all__ = ["JobTable", "JobView"]
+
+#: Fixed state encoding: index into this tuple == the int8 code stored
+#: in ``JobTable.state``. Order matches the JobState declaration so code
+#: 0 is UNSUBMITTED.
+STATES: tuple[JobState, ...] = tuple(JobState)
+_CODE: dict[JobState, int] = {s: i for i, s in enumerate(STATES)}
+_ALLOWED: tuple[frozenset[int], ...] = tuple(
+    frozenset(_CODE[t] for t in _TRANSITIONS[s]) for s in STATES
+)
+
+_UNSUBMITTED = _CODE[JobState.UNSUBMITTED]
+_IDLE = _CODE[JobState.IDLE]
+_RUNNING = _CODE[JobState.RUNNING]
+_COMPLETED = _CODE[JobState.COMPLETED]
+_FAILED = _CODE[JobState.FAILED]
+_HELD = _CODE[JobState.HELD]
+_REMOVED = _CODE[JobState.REMOVED]
+_REQUEUE_FROM = frozenset({_RUNNING, _FAILED, _HELD})
+_TERMINAL = frozenset({_COMPLETED, _FAILED, _REMOVED})
+
+
+class JobTable:
+    """Columnar dynamic job state (one row per job attempt).
+
+    Unset timestamps are NaN; slot 0 means "no slot". Rows are append-
+    only; arrays grow by doubling so a million adds amortize to O(n).
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise JobStateError(f"capacity must be >= 1, got {capacity}")
+        self.n = 0
+        self.state = np.full(capacity, _UNSUBMITTED, dtype=np.int8)
+        self.submit_time = np.full(capacity, np.nan)
+        self.start_time = np.full(capacity, np.nan)
+        self.end_time = np.full(capacity, np.nan)
+        self.runtime_s = np.full(capacity, np.nan)  # sampled transfer+exec duration
+        self.retries = np.zeros(capacity, dtype=np.int32)  # re-queues (evict/release)
+        self.n_evictions = np.zeros(capacity, dtype=np.int32)
+        self.slot = np.zeros(capacity, dtype=np.int64)
+        self.cluster_id = np.zeros(capacity, dtype=np.int64)
+        self.dagman = np.zeros(capacity, dtype=np.int32)  # index of the owning run
+        self.specs: list[JobSpec] = []
+        self.node_names: list[str] = []
+
+    def __len__(self) -> int:
+        return self.n
+
+    def _grow_to(self, need: int) -> None:
+        cap = len(self.state)
+        if need <= cap:
+            return
+        while cap < need:
+            cap *= 2
+        for column in (
+            "state",
+            "submit_time",
+            "start_time",
+            "end_time",
+            "runtime_s",
+            "retries",
+            "n_evictions",
+            "slot",
+            "cluster_id",
+            "dagman",
+        ):
+            old = getattr(self, column)
+            new = np.empty(cap, dtype=old.dtype)
+            new[: self.n] = old[: self.n]
+            if old.dtype.kind == "f":
+                new[self.n:] = np.nan
+            else:
+                new[self.n:] = 0
+            setattr(self, column, new)
+        self.state[self.n:] = _UNSUBMITTED
+
+    def add_batch(
+        self,
+        node_names: list[str],
+        specs: list[JobSpec],
+        dagman_index: int,
+        cluster_start: int,
+        submit_time: float,
+    ) -> range:
+        """Append one submit-cycle batch of jobs, already IDLE.
+
+        Jobs enter the table the way the scalar path creates them —
+        freshly submitted at ``submit_time`` with consecutive cluster
+        ids from ``cluster_start`` — skipping the UNSUBMITTED->IDLE
+        transition they would all take immediately. Returns the row
+        index range.
+        """
+        if len(node_names) != len(specs):
+            raise JobStateError("node_names and specs must be equal length")
+        k = len(node_names)
+        start, end = self.n, self.n + k
+        self._grow_to(end)
+        self.state[start:end] = _IDLE
+        self.submit_time[start:end] = submit_time
+        self.cluster_id[start:end] = np.arange(cluster_start, cluster_start + k)
+        self.dagman[start:end] = dagman_index
+        self.node_names.extend(node_names)
+        self.specs.extend(specs)
+        self.n = end
+        return range(start, end)
+
+    def transition(self, index: int, new_state: JobState, time: float) -> None:
+        """Row-wise ``Job.transition`` with identical rules and effects."""
+        code = self.state[index]
+        new_code = _CODE[new_state]
+        if new_code not in _ALLOWED[code]:
+            raise JobStateError(
+                f"job {self.specs[index].name} (cluster {self.cluster_id[index]}): "
+                f"illegal transition {STATES[code].value} -> {new_state.value}"
+            )
+        if new_code == _IDLE and code == _UNSUBMITTED:
+            self.submit_time[index] = time
+        elif new_code == _IDLE and code in _REQUEUE_FROM:
+            self.start_time[index] = np.nan
+            self.slot[index] = 0
+            self.retries[index] += 1
+        elif new_code == _RUNNING:
+            self.start_time[index] = time
+        elif new_code in _TERMINAL:
+            self.end_time[index] = time
+        self.state[index] = np.int8(new_code)
+
+    def view(self, index: int) -> "JobView":
+        """A ``Job``-compatible view over one row."""
+        if not 0 <= index < self.n:
+            raise JobStateError(f"row {index} out of range (table has {self.n})")
+        return JobView(self, index)
+
+
+class JobView:
+    """Thin ``Job``-compatible window onto one :class:`JobTable` row.
+
+    Two words of state (table reference + row index); every attribute
+    the rest of the simulator reads off a ``Job`` resolves against the
+    columns. Views compare by identity, matching how the pool tracks
+    job objects in queues and held lists.
+    """
+
+    __slots__ = ("_table", "index")
+
+    owner = "fdw"
+
+    def __init__(self, table: JobTable, index: int) -> None:
+        self._table = table
+        self.index = index
+
+    @property
+    def spec(self) -> JobSpec:
+        return self._table.specs[self.index]
+
+    @property
+    def cluster_id(self) -> int:
+        return int(self._table.cluster_id[self.index])
+
+    @property
+    def state(self) -> JobState:
+        return STATES[self._table.state[self.index]]
+
+    @property
+    def submit_time(self) -> float | None:
+        t = self._table.submit_time[self.index]
+        return None if np.isnan(t) else float(t)
+
+    @property
+    def start_time(self) -> float | None:
+        t = self._table.start_time[self.index]
+        return None if np.isnan(t) else float(t)
+
+    @property
+    def end_time(self) -> float | None:
+        t = self._table.end_time[self.index]
+        return None if np.isnan(t) else float(t)
+
+    @property
+    def slot_name(self) -> str | None:
+        slot = self._table.slot[self.index]
+        return None if slot == 0 else f"slot-{int(slot)}"
+
+    @property
+    def n_retries(self) -> int:
+        return int(self._table.retries[self.index])
+
+    def transition(self, new_state: JobState, time: float) -> None:
+        self._table.transition(self.index, new_state, time)
+
+    # -- derived (mirrors Job) ---------------------------------------------
+
+    @property
+    def wait_time(self) -> float | None:
+        """Queue wait (start - submit) in seconds, when both are known."""
+        submit, start = self.submit_time, self.start_time
+        if submit is None or start is None:
+            return None
+        return start - submit
+
+    @property
+    def execution_time(self) -> float | None:
+        """Execution wall time (end - start) in seconds, when known."""
+        start, end = self.start_time, self.end_time
+        if start is None or end is None:
+            return None
+        return end - start
+
+    @property
+    def is_terminal(self) -> bool:
+        """True in COMPLETED or REMOVED (no further transitions expected)."""
+        return self._table.state[self.index] in (_COMPLETED, _REMOVED)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"JobView({self.spec.name}, cluster={self.cluster_id}, "
+            f"state={self.state.value})"
+        )

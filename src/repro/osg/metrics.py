@@ -168,12 +168,13 @@ class PoolMetrics:
         """
         t0, t1 = self._window(dagman)
         n = max(1, int(np.ceil(t1 - t0)))
-        ends = np.array(
-            [
-                r.end_time - t0
-                for r in self.records
-                if (dagman is None or r.dagman == dagman) and r.success
-            ]
+        selected = [
+            r
+            for r in self.records
+            if (dagman is None or r.dagman == dagman) and r.success
+        ]
+        ends = np.fromiter(
+            (r.end_time - t0 for r in selected), dtype=float, count=len(selected)
         )
         counts = np.zeros(n + 1)
         if ends.size:
@@ -193,15 +194,27 @@ class PoolMetrics:
         """
         t0, t1 = self._window(dagman)
         n = max(1, int(np.ceil(t1 - t0)))
+        selected = (
+            self.records
+            if dagman is None
+            else [r for r in self.records if r.dagman == dagman]
+        )
         delta = np.zeros(n + 2)
-        for r in self.records:
-            if dagman is not None and r.dagman != dagman:
-                continue
-            a = int(np.clip(np.ceil(r.start_time - t0), 0, n))
-            b = int(np.clip(np.ceil(r.end_time - t0), 0, n + 1))
-            if b > a:
-                delta[a] += 1
-                delta[b] -= 1
+        if selected:
+            # Vectorized difference array: one clip/ceil pass instead
+            # of a Python loop per record (the loop dominated analysis
+            # time on million-record runs).
+            starts = np.fromiter(
+                (r.start_time for r in selected), dtype=float, count=len(selected)
+            )
+            ends = np.fromiter(
+                (r.end_time for r in selected), dtype=float, count=len(selected)
+            )
+            a = np.clip(np.ceil(starts - t0), 0, n).astype(np.int64)
+            b = np.clip(np.ceil(ends - t0), 0, n + 1).astype(np.int64)
+            occupied = b > a
+            np.add.at(delta, a[occupied], 1.0)
+            np.add.at(delta, b[occupied], -1.0)
         return np.cumsum(delta)[:n]
 
     # -- aggregation over repeated runs (the paper's eqs. 1-4) -------------------

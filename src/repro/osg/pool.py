@@ -17,8 +17,8 @@ execution times, and rare job failure with DAG-level retries.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
+from functools import partial
 from pathlib import Path
 
 import numpy as np
@@ -31,8 +31,9 @@ from repro.condor.jobs import Job, JobState
 from repro.condor.rescue import apply_rescue, read_rescue_file, rescue_path, write_rescue_file
 from repro.osg.capacity import CapacityProcess, default_ospool_capacity
 from repro.osg.des import EventHandle, Simulator
+from repro.osg.jobtable import JobTable, JobView
 from repro.osg.metrics import DagmanSummary, JobRecord, PoolMetrics
-from repro.osg.negotiator import NegotiatorConfig, negotiate
+from repro.osg.negotiator import NegotiatorConfig, negotiate, negotiate_vectorized
 from repro.osg.runtimes import RuntimeModel
 from repro.osg.schedd import ScheddQueue
 from repro.osg.transfer import StashCache, TransferConfig
@@ -104,16 +105,23 @@ class OSPoolConfig:
 
 @dataclass
 class DagmanRun:
-    """Live state of one submitted DAGMan."""
+    """Live state of one submitted DAGMan.
+
+    ``jobs`` holds one entry per attempt, in submission order: full
+    :class:`~repro.condor.jobs.Job` objects under the reference engine,
+    :class:`~repro.osg.jobtable.JobView` rows (same attribute surface)
+    under the vectorized one.
+    """
 
     name: str
     engine: DagmanEngine
     queue: ScheddQueue
     user_log: UserLog
     submit_time: float
+    index: int = 0  # submission ordinal (the JobTable's dagman column)
     end_time: float | None = None
     dead: bool = False  # terminal failure (retries exhausted)
-    jobs: dict[str, list[Job]] = field(default_factory=dict)
+    jobs: dict[str, list[Job | JobView]] = field(default_factory=dict)
     rescue_file: Path | None = None
     holds: dict[str, int] = field(default_factory=dict)  # node -> times held
     held: list[tuple[str, Job]] = field(default_factory=list)
@@ -153,6 +161,17 @@ class OSPoolSimulator:
         dies terminally, is killed with :meth:`kill_dagman`, or is left
         unfinished by a bounded ``run(until=...)`` — the recovery input
         for :func:`resubmit_with_rescue`.
+    engine:
+        ``"vector"`` (default) runs the struct-of-arrays hot path:
+        jobs live in a :class:`~repro.osg.jobtable.JobTable`, whole
+        negotiation cycles match as array operations, the running set
+        is an O(1)-removal token map, and jobs with equal finish times
+        share one coalesced completion event. ``"reference"`` runs the
+        original one-object-per-job loop. Both engines consume the
+        RNG streams in the same order and produce bit-identical
+        metrics, logs, and rescue files (asserted by the equivalence
+        tests); the reference engine is kept as the oracle and as the
+        ``bench-des-scale`` baseline.
     """
 
     def __init__(
@@ -161,7 +180,14 @@ class OSPoolSimulator:
         capacity: CapacityProcess | None = None,
         seed: int = 0,
         rescue_dir: str | Path | None = None,
+        engine: str = "vector",
     ) -> None:
+        if engine not in ("vector", "reference"):
+            raise SimulationError(
+                f"engine must be 'vector' or 'reference', got {engine!r}"
+            )
+        self.engine_kind = engine
+        self._vector = engine == "vector"
         self.config = config or OSPoolConfig()
         self.rescue_dir = Path(rescue_dir) if rescue_dir is not None else None
         self.capacity_process = capacity or default_ospool_capacity()
@@ -173,15 +199,23 @@ class OSPoolSimulator:
         self.sim = Simulator()
         self.cache = StashCache(self.config.transfer)
         self._dagmans: dict[str, DagmanRun] = {}
+        # Reference engine: (start, run, node, job, completion handle)
+        # tuples, rebuilt on every completion. Vector engine: token ->
+        # (run, node, view); tokens increase with start time, so dict
+        # order doubles as newest-last preemption order, and a token
+        # absent from the map makes a stale coalesced completion a no-op.
         self._running: list[tuple[float, DagmanRun, str, Job, EventHandle]] = []
+        self._running_v: dict[int, tuple[DagmanRun, str, JobView]] = {}
+        self._next_token = 0
+        self._table = JobTable()
         self._records: list[JobRecord] = []
         self._evictions: dict[int, int] = {}
         self._capacity = 0
         self._capacity_trace: list[tuple[float, int]] = []
-        self._slot_counter = itertools.count(1)
+        self._next_slot = 1
         # Per-pool cluster ids keep user logs reproducible run-to-run
         # (the Job default draws from a process-global counter).
-        self._cluster_counter = itertools.count(1)
+        self._next_cluster = 1
         self._started = False
 
     # -- submission -------------------------------------------------------
@@ -222,12 +256,14 @@ class OSPoolSimulator:
             queue=ScheddQueue(name),
             user_log=UserLog(),
             submit_time=at_time,
+            index=len(self._dagmans),
         )
         if engine.is_complete:
             # A fully-rescued DAG has nothing to run.
             run.end_time = at_time
         self._dagmans[name] = run
-        self.sim.schedule_at(at_time, lambda: self._dagman_cycle(run))
+        cycle = self._dagman_cycle_v if self._vector else self._dagman_cycle
+        self.sim.schedule_at(at_time, partial(cycle, run))
         return run
 
     # -- event handlers ------------------------------------------------------
@@ -269,7 +305,8 @@ class OSPoolSimulator:
             return
         now = self.sim.now
         spec = run.engine.dag.node(node_name).spec
-        job = Job(spec, cluster_id=next(self._cluster_counter))
+        job = Job(spec, cluster_id=self._next_cluster)
+        self._next_cluster += 1
         job.transition(JobState.IDLE, now)
         run.user_log.record(
             JobEventType.SUBMIT, job.cluster_id, now, host=f"schedd-{run.name}"
@@ -291,7 +328,8 @@ class OSPoolSimulator:
 
     def _start_job(self, run: DagmanRun, node_name: str, job: Job) -> None:
         now = self.sim.now
-        slot = f"slot-{next(self._slot_counter)}"
+        slot = f"slot-{self._next_slot}"
+        self._next_slot += 1
         job.transition(JobState.RUNNING, now)
         job.slot_name = slot
         run.user_log.record(JobEventType.EXECUTE, job.cluster_id, now, host=slot)
@@ -358,8 +396,236 @@ class OSPoolSimulator:
         else:
             self._report_result(run, node_name, success)
 
-    def _hold_job(self, run: DagmanRun, node_name: str, job: Job) -> None:
-        """Put a job on HOLD; it auto-releases after ``hold_release_s``."""
+    # -- vectorized engine -------------------------------------------------
+    #
+    # Same protocol as the reference handlers above, restructured for
+    # throughput: jobs are rows in self._table, submissions append in
+    # one batch, negotiation matches a whole cycle as array ops, and
+    # completions scheduled in one cycle with equal finish times share a
+    # single coalesced heap event. Per-job RNG draws (transfer site,
+    # runtime lognormal+uniform, failure) stay scalar *in match order* —
+    # batching them would interleave the streams differently and break
+    # bit-identity with the reference engine.
+
+    def _dagman_cycle_v(self, run: DagmanRun) -> None:
+        """Vector counterpart of :meth:`_dagman_cycle`."""
+        if run.finished:
+            return
+        batch = run.engine.pull_submissions(run.queue.n_idle)
+        if batch:
+            dag_node = run.engine.dag.node
+            plain: list[str] = []
+            for node_name in batch:
+                node = dag_node(node_name)
+                if node.pre_script is not None:
+                    script = node.pre_script
+                    if script.succeeds:
+                        self.sim.post(
+                            script.duration_s,
+                            partial(self._enqueue_single_v, run, node_name),
+                        )
+                    else:
+                        self.sim.post(
+                            script.duration_s,
+                            partial(self._report_result, run, node_name, False),
+                        )
+                else:
+                    # Plain nodes batch into one table append below; PRE
+                    # nodes take their cluster ids at script completion,
+                    # so deferring keeps the id sequence identical.
+                    plain.append(node_name)
+            if plain:
+                self._enqueue_batch_v(run, plain)
+        self.sim.post(self.config.dagman_cycle_s, partial(self._dagman_cycle_v, run))
+
+    def _enqueue_batch_v(self, run: DagmanRun, node_names: list[str]) -> None:
+        """Append one submit batch to the job table and the queue."""
+        now = self.sim.now
+        dag_node = run.engine.dag.node
+        specs = [dag_node(n).spec for n in node_names]
+        first_cluster = self._next_cluster
+        self._next_cluster += len(node_names)
+        table = self._table
+        rows = table.add_batch(node_names, specs, run.index, first_cluster, now)
+        record = run.user_log.record
+        host = f"schedd-{run.name}"
+        jobs = run.jobs
+        entries: list[tuple[str, JobView]] = []
+        cluster = first_cluster
+        for row, node_name in zip(rows, node_names):
+            view = JobView(table, row)
+            record(JobEventType.SUBMIT, cluster, now, host=host)
+            cluster += 1
+            jobs.setdefault(node_name, []).append(view)
+            entries.append((node_name, view))
+        run.queue.enqueue_many(entries)
+
+    def _enqueue_single_v(self, run: DagmanRun, node_name: str) -> None:
+        """Queue one PRE-cleared node (vector counterpart of _enqueue_job)."""
+        if run.finished:
+            return
+        self._enqueue_batch_v(run, [node_name])
+
+    def _negotiator_cycle_v(self) -> None:
+        """Vector counterpart of :meth:`_negotiator_cycle`."""
+        if self._all_done():
+            return
+        free = max(0, self._capacity - len(self._running_v))
+        queues = [d.queue for d in self._dagmans.values() if not d.finished]
+        matches = negotiate_vectorized(queues, free, self.config.negotiator)
+        if matches:
+            now = self.sim.now
+            dagmans = self._dagmans
+            # Coalesce: all matches of this cycle sharing a finish time
+            # complete through one heap event, members in match order —
+            # the order the reference engine's per-job events fire in.
+            groups: dict[float, list[int]] = {}
+            for queue, node_name, view in matches:
+                run = dagmans[queue.name]
+                finish, token = self._claim_v(run, node_name, view, now)
+                group = groups.get(finish)
+                if group is None:
+                    groups[finish] = [token]
+                else:
+                    group.append(token)
+            post_at = self.sim.post_at
+            for finish, tokens in groups.items():
+                post_at(finish, partial(self._complete_batch_v, tokens))
+        self.sim.post(self.config.negotiator.cycle_s, self._negotiator_cycle_v)
+
+    def _claim_v(
+        self, run: DagmanRun, node_name: str, view: JobView, now: float
+    ) -> tuple[float, int]:
+        """Start a matched job; returns (finish time, running-set token)."""
+        table = self._table
+        row = view.index
+        slot = self._next_slot
+        self._next_slot += 1
+        table.transition(row, JobState.RUNNING, now)
+        table.slot[row] = slot
+        run.user_log.record(
+            JobEventType.EXECUTE,
+            int(table.cluster_id[row]),
+            now,
+            host=f"slot-{slot}",
+        )
+        duration = self.cache.transfer_time(
+            view.spec, self._rng_transfer
+        ) + self.config.runtime.sample_seconds(view.spec, self._rng_runtime)
+        table.runtime_s[row] = duration
+        token = self._next_token
+        self._next_token = token + 1
+        self._running_v[token] = (run, node_name, view)
+        return now + duration, token
+
+    def _start_single_v(self, run: DagmanRun, node_name: str, view: JobView) -> None:
+        """Claim-reuse start: one job, its own (uncoalesced) completion."""
+        now = self.sim.now
+        finish, token = self._claim_v(run, node_name, view, now)
+        self.sim.post_at(finish, partial(self._complete_batch_v, [token]))
+
+    def _complete_batch_v(self, tokens: list[int]) -> None:
+        """Finish a coalesced batch of jobs sharing one finish time.
+
+        Each member replays :meth:`_finish_job` exactly — running-set
+        removal, claim reuse, failure draw, hold-or-terminate, record,
+        POST/report — so the event order and RNG streams match the
+        reference engine. A token no longer in the running map belongs
+        to a job evicted/held/removed after this event was scheduled:
+        stale members are skipped, which is how the vector engine
+        "cancels" completions without touching the heap.
+        """
+        running = self._running_v
+        table = self._table
+        config = self.config
+        now = self.sim.now
+        for token in tokens:
+            entry = running.pop(token, None)
+            if entry is None:
+                continue
+            run, node_name, view = entry
+            row = view.index
+            # Claim reuse (HTCondor default): the freed slot immediately
+            # runs the submitter's next idle job instead of idling until
+            # the next negotiation cycle.
+            if len(running) < self._capacity and run.queue.n_idle > 0:
+                next_node, next_view = run.queue.pop()
+                self._start_single_v(run, next_node, next_view)
+            success = bool(self._rng_failure.random() < config.success_prob)
+            if (
+                not success
+                and config.max_job_holds > 0
+                and run.engine.retries_left(node_name) == 0
+                and run.holds.get(node_name, 0) < config.max_job_holds
+            ):
+                self._hold_job(run, node_name, view)
+                continue
+            table.transition(
+                row, JobState.COMPLETED if success else JobState.FAILED, now
+            )
+            cluster = int(table.cluster_id[row])
+            run.user_log.record(
+                JobEventType.TERMINATED,
+                cluster,
+                now,
+                return_value=0 if success else 1,
+            )
+            spec = table.specs[row]
+            submit = table.submit_time[row]
+            start = table.start_time[row]
+            self._records.append(
+                JobRecord(
+                    node_name=node_name,
+                    dagman=run.name,
+                    phase=spec.payload.phase if spec.payload else "generic",
+                    cluster_id=cluster,
+                    submit_time=float(submit) if submit == submit else 0.0,
+                    start_time=float(start) if start == start else 0.0,
+                    end_time=now,
+                    n_evictions=int(table.n_evictions[row]),
+                    success=success,
+                )
+            )
+            node = run.engine.dag.node(node_name)
+            if node.post_script is not None:
+                final = node.post_script.succeeds
+                self.sim.post(
+                    node.post_script.duration_s,
+                    partial(self._report_result, run, node_name, final),
+                )
+            else:
+                self._report_result(run, node_name, success)
+
+    def _evict_entries_v(self, entries: list[tuple[DagmanRun, str, JobView]]) -> None:
+        """Vector counterpart of :meth:`_evict_entries` (tokens already popped)."""
+        now = self.sim.now
+        table = self._table
+        for run, node_name, view in entries:
+            row = view.index
+            table.transition(row, JobState.IDLE, now)
+            run.user_log.record(
+                JobEventType.EVICTED, int(table.cluster_id[row]), now
+            )
+            table.n_evictions[row] += 1
+            run.queue.enqueue(node_name, view, front=True)
+
+    def _pop_newest_v(self, count: int) -> list[tuple[DagmanRun, str, JobView]]:
+        """Remove and return the ``count`` newest running entries.
+
+        Tokens are issued in start order, so the map's insertion order
+        is the reference engine's start-time sort (stable on ties).
+        """
+        items = list(self._running_v.items())[-count:] if count > 0 else []
+        for token, _ in items:
+            del self._running_v[token]
+        return [entry for _, entry in items]
+
+    def _hold_job(self, run: DagmanRun, node_name: str, job: Job | JobView) -> None:
+        """Put a job on HOLD; it auto-releases after ``hold_release_s``.
+
+        Shared by both engines — everything here goes through the
+        ``Job`` attribute surface, which views implement.
+        """
         now = self.sim.now
         job.transition(JobState.HELD, now)
         run.user_log.record(JobEventType.HELD, job.cluster_id, now)
@@ -370,7 +636,7 @@ class OSPoolSimulator:
             lambda: self._release_job(run, node_name, job),
         )
 
-    def _release_job(self, run: DagmanRun, node_name: str, job: Job) -> None:
+    def _release_job(self, run: DagmanRun, node_name: str, job: Job | JobView) -> None:
         """Release a held job back to IDLE (front of its queue)."""
         if run.finished or job.state is not JobState.HELD:
             return  # the DAGMan ended (e.g. killed) while the job was held
@@ -396,6 +662,8 @@ class OSPoolSimulator:
     def _no_inflight(self, run: DagmanRun) -> bool:
         if run.queue.n_idle > 0 or run.engine.n_ready > 0 or run.held:
             return False
+        if self._vector:
+            return all(entry[0] is not run for entry in self._running_v.values())
         return all(entry[1] is not run for entry in self._running)
 
     def _write_rescue(self, run: DagmanRun) -> Path | None:
@@ -435,6 +703,11 @@ class OSPoolSimulator:
             run.queue.enqueue(node_name, job, front=True)
 
     def _preempt_to_capacity(self) -> None:
+        if self._vector:
+            overflow = len(self._running_v) - self._capacity
+            if overflow > 0:
+                self._evict_entries_v(self._pop_newest_v(overflow))
+            return
         overflow = len(self._running) - self._capacity
         if overflow <= 0:
             return
@@ -455,6 +728,10 @@ class OSPoolSimulator:
         """
         if count < 1:
             raise SimulationError(f"count must be >= 1, got {count}")
+        if self._vector:
+            victims_v = self._pop_newest_v(count)
+            self._evict_entries_v(victims_v)
+            return len(victims_v)
         self._running.sort(key=lambda entry: entry[0])
         victims = self._running[-count:]
         del self._running[len(self._running) - len(victims):]
@@ -470,6 +747,17 @@ class OSPoolSimulator:
         """
         if count < 1:
             raise SimulationError(f"count must be >= 1, got {count}")
+        if self._vector:
+            items = [
+                (token, entry)
+                for token, entry in self._running_v.items()
+                if dagman is None or entry[0].name == dagman
+            ]
+            victims_v = items[-count:]
+            for token, (run, node_name, view) in victims_v:
+                del self._running_v[token]
+                self._hold_job(run, node_name, view)
+            return len(victims_v)
         candidates = [
             entry for entry in self._running
             if dagman is None or entry[1].name == dagman
@@ -497,12 +785,21 @@ class OSPoolSimulator:
         if run.finished:
             raise SimulationError(f"DAGMan {name!r} already finished")
         now = self.sim.now
-        victims = [entry for entry in self._running if entry[1] is run]
-        self._running = [entry for entry in self._running if entry[1] is not run]
-        for _, _, _, job, handle in victims:
-            Simulator.cancel(handle)
-            job.transition(JobState.REMOVED, now)
-            run.user_log.record(JobEventType.ABORTED, job.cluster_id, now)
+        if self._vector:
+            tokens = [
+                token for token, entry in self._running_v.items() if entry[0] is run
+            ]
+            for token in tokens:
+                _, _, view = self._running_v.pop(token)
+                view.transition(JobState.REMOVED, now)
+                run.user_log.record(JobEventType.ABORTED, view.cluster_id, now)
+        else:
+            victims = [entry for entry in self._running if entry[1] is run]
+            self._running = [entry for entry in self._running if entry[1] is not run]
+            for _, _, _, job, handle in victims:
+                Simulator.cancel(handle)
+                job.transition(JobState.REMOVED, now)
+                run.user_log.record(JobEventType.ABORTED, job.cluster_id, now)
         while run.queue.n_idle:
             _, job = run.queue.pop()
             job.transition(JobState.REMOVED, now)
@@ -532,7 +829,9 @@ class OSPoolSimulator:
             raise SimulationError("run() already called")
         self._started = True
         self._capacity_step(first=True)
-        self.sim.schedule_at(0.0, self._negotiator_cycle)
+        self.sim.schedule_at(
+            0.0, self._negotiator_cycle_v if self._vector else self._negotiator_cycle
+        )
         horizon = until if until is not None else self.config.max_sim_time_s
         self.sim.run(until=horizon, stop_when=self._all_done)
         if not self._all_done():
@@ -599,6 +898,7 @@ def resubmit_with_rescue(
     capacity: CapacityProcess | None = None,
     seed: int = 0,
     rescue_dir: str | Path | None = None,
+    engine: str = "vector",
 ) -> tuple[OSPoolSimulator, DagmanRun]:
     """Resubmit a DAG from a rescue file on a fresh pool.
 
@@ -607,14 +907,15 @@ def resubmit_with_rescue(
     :func:`~repro.condor.rescue.apply_rescue`, and submits it to a new
     :class:`OSPoolSimulator` — the driver then calls ``run()`` on the
     returned simulator. Passing ``rescue_dir`` lets the resubmission
-    itself write further rescue files, chaining attempts.
+    itself write further rescue files, chaining attempts. ``engine``
+    selects the pool's execution engine as in :class:`OSPoolSimulator`.
     """
-    engine = DagmanEngine(dag, options)
-    apply_rescue(engine, read_rescue_file(rescue_file))
+    dagman_engine = DagmanEngine(dag, options)
+    apply_rescue(dagman_engine, read_rescue_file(rescue_file))
     pool = OSPoolSimulator(
-        config=config, capacity=capacity, seed=seed, rescue_dir=rescue_dir
+        config=config, capacity=capacity, seed=seed, rescue_dir=rescue_dir, engine=engine
     )
-    run = pool.submit_engine(engine, name=name or dag.name)
+    run = pool.submit_engine(dagman_engine, name=name or dag.name)
     return pool, run
 
 

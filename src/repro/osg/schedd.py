@@ -45,17 +45,48 @@ class ScheddQueue:
         else:
             self._idle.append((node_name, job))
 
+    def enqueue_many(self, entries: list[tuple[str, Job]]) -> None:
+        """Append a batch of freshly-submitted idle jobs (FIFO order).
+
+        Batch counterpart of :meth:`enqueue` for the vectorized pool
+        engine. The caller guarantees every job is IDLE — the batch
+        submit path creates them in that state immediately before the
+        call, so re-validating each would only re-check the invariant
+        the table transition just enforced.
+        """
+        self._idle.extend(entries)
+
     def pop(self) -> tuple[str, Job]:
         """Remove and return the oldest idle job."""
         if not self._idle:
             raise SimulationError(f"schedd {self.name}: pop from empty queue")
         return self._idle.popleft()
 
+    def pop_many(self, n: int) -> list[tuple[str, Job]]:
+        """Remove and return the ``n`` oldest idle jobs, FIFO.
+
+        Batch counterpart of :meth:`pop` used by the vectorized
+        negotiator, which computes each queue's per-cycle match count
+        up front and slices the queue once.
+        """
+        if n < 0:
+            raise SimulationError(f"schedd {self.name}: pop_many({n})")
+        if n > len(self._idle):
+            raise SimulationError(
+                f"schedd {self.name}: pop_many({n}) from a queue of {len(self._idle)}"
+            )
+        popleft = self._idle.popleft
+        return [popleft() for _ in range(n)]
+
     def peek_oldest_wait(self, now: float) -> float | None:
-        """Queue age in seconds of the oldest idle job, or None."""
-        if not self._idle:
-            return None
-        _, job = self._idle[0]
-        if job.submit_time is None:
-            return None
-        return now - job.submit_time
+        """Queue age in seconds of the oldest idle job, or None.
+
+        Entries whose job has no ``submit_time`` yet are skipped rather
+        than masking the jobs queued behind them — the throttle probe
+        must see the oldest *timed* wait, not give up at an untimed
+        head entry.
+        """
+        for _, job in self._idle:
+            if job.submit_time is not None:
+                return now - job.submit_time
+        return None

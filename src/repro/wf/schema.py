@@ -191,6 +191,11 @@ class WfInstance:
             dupes = sorted({n for n in names if names.count(n) > 1})
             raise WfFormatError(f"instance {self.name!r}: duplicate tasks {dupes}")
         by_name = {t.name: t for t in self.tasks}
+        # Membership goes against per-task sets, not the parents/children
+        # tuples: a wide fan-in (the FDW's all-to-all B stage) would make
+        # tuple scans quadratic in the edge count at million-task scale.
+        parent_sets = {t.name: frozenset(t.parents) for t in self.tasks}
+        child_sets = {t.name: frozenset(t.children) for t in self.tasks}
         for task in self.tasks:
             for ref in (*task.parents, *task.children):
                 if ref not in by_name:
@@ -198,13 +203,13 @@ class WfInstance:
                         f"task {task.name!r} references unknown task {ref!r}"
                     )
             for parent in task.parents:
-                if task.name not in by_name[parent].children:
+                if task.name not in child_sets[parent]:
                     raise WfFormatError(
                         f"asymmetric edge: {task.name!r} lists parent {parent!r} "
                         f"but {parent!r} does not list it as a child"
                     )
             for child in task.children:
-                if task.name not in by_name[child].parents:
+                if task.name not in parent_sets[child]:
                     raise WfFormatError(
                         f"asymmetric edge: {task.name!r} lists child {child!r} "
                         f"but {child!r} does not list it as a parent"

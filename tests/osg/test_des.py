@@ -130,3 +130,82 @@ def test_arbitrary_delays_fire_sorted(delays):
     sim.run()
     assert fired == sorted(fired, key=float) or fired == sorted(fired)
     assert len(fired) == len(delays)
+
+
+# -- slab event core -----------------------------------------------------
+
+
+def test_pending_is_live_count_through_cancels():
+    sim = Simulator()
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+    assert sim.pending == 10
+    for h in handles[:4]:
+        Simulator.cancel(h)
+    assert sim.pending == 6
+    Simulator.cancel(handles[0])  # idempotent: no double-decrement
+    assert sim.pending == 6
+    sim.run(until=6.0)  # fires events at t=5 and t=6
+    assert sim.pending == 4
+
+
+def test_cancel_after_fire_is_noop():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, lambda: fired.append(1))
+    sim.run()
+    assert fired == [1]
+    Simulator.cancel(handle)  # the event is gone; nothing to undo
+    assert handle.cancelled
+    assert sim.pending == 0
+
+
+def test_post_and_post_at_fire_without_handles():
+    sim = Simulator()
+    fired = []
+    sim.post(2.0, lambda: fired.append("post"))
+    sim.post_at(1.0, lambda: fired.append("post_at"))
+    with pytest.raises(SimulationError):
+        sim.post(-1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.post_at(-0.5, lambda: None)
+    sim.run()
+    assert fired == ["post_at", "post"]
+    assert sim.pending == 0
+
+
+def test_heap_compacts_under_heavy_cancellation():
+    """Regression: cancelled events must not accumulate in the heap.
+
+    The seed core only discarded tombstones when they surfaced at the
+    heap top, so eviction-heavy runs (cancel + re-schedule loops) grew
+    the heap without bound. The slab core compacts once tombstones
+    outnumber live entries.
+    """
+    sim = Simulator()
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10_000)]
+    for h in handles[:9_500]:
+        Simulator.cancel(h)
+    assert sim.pending == 500
+    # Post-cancel invariant: tombstones can be at most half the heap
+    # (plus the sub-threshold floor where compaction never bothers).
+    assert len(sim._heap) <= max(64, 2 * sim.pending + 1)
+    assert sim.n_tombstones <= sim.pending + 64
+    fired = []
+    for h in handles[9_500:]:
+        sim.schedule_at(h.time, lambda: fired.append(1))
+    sim.run()
+    assert len(fired) == 500
+
+
+def test_compaction_preserves_order_and_later_events():
+    sim = Simulator()
+    fired = []
+    keep = []
+    for i in range(1_000):
+        h = sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+        if i % 10 == 0:
+            keep.append(i)
+        else:
+            Simulator.cancel(h)
+    sim.run()
+    assert fired == keep

@@ -1,10 +1,12 @@
 """Tests for repro.osg.negotiator."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.condor.jobs import Job, JobSpec, JobState
 from repro.errors import SimulationError
-from repro.osg.negotiator import NegotiatorConfig, negotiate
+from repro.osg.negotiator import NegotiatorConfig, negotiate, negotiate_vectorized
 from repro.osg.schedd import ScheddQueue
 
 
@@ -74,3 +76,54 @@ def test_matches_reference_source_queue():
     assert {m[0].name for m in matches} == {"a", "b"}
     # All four jobs drained.
     assert qa.n_idle == 0 and qb.n_idle == 0
+
+
+# -- vectorized matcher ≡ scalar oracle ----------------------------------
+
+
+def _run_both(sizes, free_slots, match_limit):
+    config = NegotiatorConfig(match_limit_per_cycle=match_limit)
+    scalar_qs = [queue_with(f"q{i}", n) for i, n in enumerate(sizes)]
+    vector_qs = [queue_with(f"q{i}", n) for i, n in enumerate(sizes)]
+    scalar = negotiate(scalar_qs, free_slots, config)
+    vector = negotiate_vectorized(vector_qs, free_slots, config)
+    return scalar_qs, scalar, vector_qs, vector
+
+
+def assert_equivalent(sizes, free_slots, match_limit):
+    scalar_qs, scalar, vector_qs, vector = _run_both(sizes, free_slots, match_limit)
+    assert [(q.name, node) for q, node, _ in scalar] == [
+        (q.name, node) for q, node, _ in vector
+    ]
+    assert [j.spec.name for _, _, j in scalar] == [j.spec.name for _, _, j in vector]
+    assert [q.n_idle for q in scalar_qs] == [q.n_idle for q in vector_qs]
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=0, max_value=40), min_size=0, max_size=12),
+    free_slots=st.integers(min_value=0, max_value=200),
+    match_limit=st.integers(min_value=1, max_value=200),
+)
+@settings(max_examples=200, deadline=None)
+def test_vectorized_matches_scalar_property(sizes, free_slots, match_limit):
+    assert_equivalent(sizes, free_slots, match_limit)
+
+
+@pytest.mark.parametrize(
+    ("sizes", "free_slots", "match_limit"),
+    [
+        ([5], 3, 1000),  # single-queue FIFO slice
+        ([3, 3], 4, 1000),  # even round-robin
+        ([1, 5], 4, 1000),  # short queue exhausts mid-cycle
+        ([0, 0, 7], 20, 1000),  # empty queues skipped
+        ([10, 10, 10], 30, 4),  # match limit binds before slots
+        ([2, 9, 1, 6], 11, 11),  # budget == matches exactly
+    ],
+)
+def test_vectorized_matches_scalar_cases(sizes, free_slots, match_limit):
+    assert_equivalent(sizes, free_slots, match_limit)
+
+
+def test_vectorized_negative_free_slots_rejected():
+    with pytest.raises(SimulationError):
+        negotiate_vectorized([], -1, NegotiatorConfig())

@@ -55,3 +55,42 @@ def test_peek_oldest_wait():
     q.enqueue("n", idle_job(t=10.0))
     q.enqueue("m", idle_job(t=50.0))
     assert q.peek_oldest_wait(100.0) == pytest.approx(90.0)
+
+
+def test_peek_oldest_wait_skips_unset_submit_time():
+    """Regression: an entry whose job has no submit_time must be skipped.
+
+    The seed crashed (TypeError on float - None) when the head job's
+    submit_time was unset — reachable when a caller enqueues a job that
+    reached IDLE through a path that never stamped submission.
+    """
+    q = ScheddQueue("q")
+    ghost = Job(JobSpec(name="ghost"))
+    ghost.state = JobState.IDLE  # IDLE but never stamped
+    q.enqueue("ghost", ghost)
+    assert q.peek_oldest_wait(100.0) is None
+    q.enqueue("real", idle_job(t=40.0))
+    assert q.peek_oldest_wait(100.0) == pytest.approx(60.0)
+
+
+def test_enqueue_many_preserves_fifo():
+    q = ScheddQueue("q")
+    jobs = [idle_job() for _ in range(3)]
+    q.enqueue_many([(f"n{i}", j) for i, j in enumerate(jobs)])
+    assert q.n_idle == 3
+    assert [q.pop()[0] for _ in range(3)] == ["n0", "n1", "n2"]
+
+
+def test_pop_many():
+    q = ScheddQueue("q")
+    jobs = [idle_job() for _ in range(4)]
+    for i, j in enumerate(jobs):
+        q.enqueue(f"n{i}", j)
+    batch = q.pop_many(3)
+    assert [name for name, _ in batch] == ["n0", "n1", "n2"]
+    assert q.n_idle == 1
+    assert q.pop_many(0) == []
+    with pytest.raises(SimulationError):
+        q.pop_many(2)  # only one left
+    with pytest.raises(SimulationError):
+        q.pop_many(-1)

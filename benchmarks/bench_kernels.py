@@ -14,7 +14,10 @@ groups track the Phase-A acceleration stack the same way: the dense
 von Kármán evaluation against the unique-lag kernel, cold vs. warm
 :class:`~repro.seismo.klcache.KLCache` lookups, and the seed sequential
 rupture sweep (dense kernel, no cache) against the pooled + memoized
-fan-out. ``FDW_BENCH_SCALE`` shrinks the workload for smoke runs; pass
+fan-out. ``phase-b-batch`` compares the per-pair ``okada85`` reference
+loop against the vectorized Chinnery-corner bank build (bit-identical
+products) and the opt-in float32 bank, whose error budget lands in the
+bench JSON ``extra_info``. ``FDW_BENCH_SCALE`` shrinks the workload for smoke runs; pass
 ``--benchmark-json BENCH_kernels.json`` to persist the numbers (the CI
 smoke job archives that artifact).
 """
@@ -40,6 +43,7 @@ from repro.seismo.distance import DistanceMatrices
 from repro.seismo.geometry import build_chile_slab
 from repro.seismo.greens import compute_gf_bank
 from repro.seismo.klcache import KLCache
+from repro.seismo.okada import compute_okada_gf_bank
 from repro.seismo.ruptures import Rupture, RuptureGenerator
 from repro.seismo.spectra import von_karman_correlation
 from repro.seismo.stations import chilean_network
@@ -166,6 +170,116 @@ def test_phase_c_batched(benchmark, gf_bank, ruptures):
     reference = [synth.synthesize(r) for r in ruptures]
     for ws, ref in zip(sets, reference):
         assert np.array_equal(ws.data, ref.data)  # bit-identical products
+
+
+def _max_rel_pgd_dev(sets, reference) -> float:
+    """Largest relative deviation in per-rupture peak PGD."""
+    worst = 0.0
+    for ws, ref in zip(sets, reference):
+        pgd = float(ref.pgd_m().max())
+        worst = max(worst, abs(float(ws.pgd_m().max()) - pgd) / pgd)
+    return worst
+
+
+@pytest.mark.benchmark(group="phase-c-batch")
+def test_phase_c_batched_float32(benchmark, gf_bank, ruptures):
+    """Opt-in float32 bank: half the bank bytes, single-precision BLAS in
+    the batched matmul; waveform error budget goes into ``extra_info``."""
+    synth32 = WaveformSynthesizer(gf_bank.astype("float32"))
+    sets = benchmark(synth32.synthesize_batch, ruptures)
+    reference = WaveformSynthesizer(gf_bank).synthesize_batch(ruptures)
+    dev = _max_rel_pgd_dev(sets, reference)
+    benchmark.extra_info["max_rel_pgd_dev"] = dev
+    benchmark.extra_info["bank_nbytes_ratio"] = (
+        synth32.gf_bank.nbytes / gf_bank.nbytes
+    )
+    assert all(ws.data.dtype == np.float32 for ws in sets)
+    assert dev < 1e-5
+
+
+@pytest.mark.benchmark(group="phase-c-batch")
+def test_phase_c_batched_fft(benchmark, gf_bank, ruptures):
+    """Opt-in FFT-domain synthesis: one shared ramp spectrum delayed by
+    per-pair phase factors instead of per-subfault time-domain ramps."""
+    synth = WaveformSynthesizer(gf_bank, method="fft")
+    sets = benchmark(synth.synthesize_batch, ruptures)
+    reference = WaveformSynthesizer(gf_bank).synthesize_batch(ruptures)
+    dev = _max_rel_pgd_dev(sets, reference)
+    benchmark.extra_info["max_rel_pgd_dev"] = dev
+    assert dev < 1e-3
+
+
+# -- Phase B kernel: reference Okada loop vs vectorized bank ------------------
+
+
+@pytest.fixture(scope="module")
+def paper_geometry():
+    """The paper-scale 30x15 Chilean slab mesh (450 subfaults)."""
+    return build_chile_slab(n_strike=30, n_dip=15)
+
+
+@pytest.fixture(scope="module")
+def paper_network():
+    """Full 121-station Chilean input at scale 1, shrunk for smoke runs."""
+    return chilean_network(max(12, int(round(121 * bench_scale()))))
+
+
+@pytest.mark.benchmark(group="phase-b-batch")
+def test_phase_b_reference(benchmark, paper_geometry, paper_network):
+    """Seed evaluation: one ``okada85`` call per (station, subfault) pair."""
+    bank = benchmark(
+        compute_okada_gf_bank, paper_geometry, paper_network, engine="reference"
+    )
+    assert bank.n_stations == len(paper_network)
+
+
+@pytest.mark.benchmark(group="phase-b-batch")
+def test_phase_b_vector(benchmark, paper_geometry, paper_network):
+    """Batched evaluation: one Chinnery corner tensor for the whole bank."""
+    bank = benchmark(compute_okada_gf_bank, paper_geometry, paper_network)
+    reference = compute_okada_gf_bank(
+        paper_geometry, paper_network, engine="reference"
+    )
+    assert np.array_equal(bank.statics, reference.statics)  # bit-identical
+    assert np.array_equal(bank.travel_time_s, reference.travel_time_s)
+
+
+@pytest.mark.benchmark(group="phase-b-batch")
+def test_phase_b_vector_float32(benchmark, paper_geometry, paper_network):
+    """Opt-in float32 bank build; bank-level error budget in ``extra_info``."""
+    bank32 = benchmark(
+        compute_okada_gf_bank, paper_geometry, paper_network, dtype="float32"
+    )
+    bank64 = compute_okada_gf_bank(paper_geometry, paper_network)
+    scale = float(np.abs(bank64.statics).max())
+    dev = float(np.abs(bank32.statics.astype(np.float64) - bank64.statics).max())
+    benchmark.extra_info["nbytes_ratio"] = bank32.nbytes / bank64.nbytes
+    benchmark.extra_info["max_rel_statics_dev"] = dev / scale
+    assert bank32.nbytes * 2 == bank64.nbytes
+    assert dev / scale < 1e-6
+
+
+def test_phase_b_speedup_report(paper_geometry, paper_network, capsys):
+    """One-shot reference-vs-vector comparison of the Okada bank build
+    (not a pytest-benchmark timing; runs even with --benchmark-disable)."""
+    t0 = time.perf_counter()
+    reference = compute_okada_gf_bank(
+        paper_geometry, paper_network, engine="reference"
+    )
+    ref_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    vector = compute_okada_gf_bank(paper_geometry, paper_network)
+    vec_s = time.perf_counter() - t0
+    assert np.array_equal(vector.statics, reference.statics)
+    assert np.array_equal(vector.travel_time_s, reference.travel_time_s)
+
+    with capsys.disabled():
+        print(
+            f"\n### Phase-B Okada bank ({paper_geometry.n_subfaults} subfaults x "
+            f"{len(paper_network)} stations)\n"
+            f"reference loop : {ref_s:8.3f} s\n"
+            f"vector engine  : {vec_s:8.3f} s ({ref_s / vec_s:5.2f}x)"
+        )
 
 
 # -- Phase C pool: seed path vs shared-memory bank ----------------------------

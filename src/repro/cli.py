@@ -69,6 +69,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="with --local: resume a checkpointed run, skipping done chunks",
     )
+    p_run.add_argument(
+        "--gf-dtype", choices=("float64", "float32"), default=None,
+        help="override the config's GF-bank precision; float32 halves bank "
+        "bytes at ~1e-7 relative waveform error (banks are cache-keyed by "
+        "dtype, so the two precisions never share an entry)",
+    )
 
     p_rec = sub.add_parser(
         "recover", help="resubmit a dead DAGMan from its rescue file"
@@ -192,6 +198,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.units import format_duration
 
     config = FdwConfig.read(args.config)
+    if args.gf_dtype is not None:
+        from dataclasses import replace
+
+        config = replace(config, gf_dtype=args.gf_dtype)
     if args.local:
         result = LocalRunner().run(
             config,

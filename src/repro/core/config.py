@@ -53,6 +53,10 @@ class FdwConfig:
         DAG-level retries per node.
     max_idle:
         DAGMan idle-job throttle.
+    gf_dtype:
+        GF-bank precision handed to Phase B: ``"float64"`` (bit-exact
+        default) or ``"float32"`` (half-size banks, ~1e-7 relative
+        waveform error).
     seed:
         Root seed of the run.
     name:
@@ -68,6 +72,7 @@ class FdwConfig:
     mw_range: tuple[float, float] = (7.5, 9.2)
     retries: int = 3
     max_idle: int = 500
+    gf_dtype: str = "float64"
     seed: int = 0
     name: str = "fdw"
 
@@ -89,6 +94,10 @@ class FdwConfig:
             raise ConfigError(f"retries must be >= 0, got {self.retries}")
         if self.max_idle < 0:
             raise ConfigError(f"max_idle must be >= 0, got {self.max_idle}")
+        if self.gf_dtype not in ("float64", "float32"):
+            raise ConfigError(
+                f"gf_dtype must be 'float64' or 'float32', got {self.gf_dtype!r}"
+            )
         if not self.name:
             raise ConfigError("name must be non-empty")
 
@@ -135,6 +144,7 @@ class FdwConfig:
             "mw_range",
             "retries",
             "max_idle",
+            "gf_dtype",
             "seed",
             "name",
         }
@@ -159,6 +169,8 @@ class FdwConfig:
                 if len(parts_f) != 2:
                     raise ConfigError(f"{path}: mw_range must look like '7.5-9.2'")
                 kwargs["mw_range"] = (parts_f[0], parts_f[1])
+            if "gf_dtype" in section:
+                kwargs["gf_dtype"] = section["gf_dtype"]
             if "name" in section:
                 kwargs["name"] = section["name"]
         except ValueError as exc:
@@ -180,6 +192,7 @@ class FdwConfig:
             f"mw_range = {self.mw_range[0]}-{self.mw_range[1]}",
             f"retries = {self.retries}",
             f"max_idle = {self.max_idle}",
+            f"gf_dtype = {self.gf_dtype}",
             f"seed = {self.seed}",
             f"name = {self.name}",
         ]

@@ -69,15 +69,17 @@ def gf_bank_key(
     rake_deg: float = DEFAULT_RAKE_DEG,
     shear_velocity_kms: float = DEFAULT_SHEAR_VELOCITY_KMS,
     min_distance_km: float = 1.0,
+    dtype: str = "float64",
 ) -> str:
     """Content-addressed cache key of a GF bank.
 
     The key hashes every input that flows into
     :func:`~repro.seismo.greens.compute_gf_bank` (or the Okada variant):
-    the full subfault table, the ordered station list, and the scalar
-    model parameters. Any change to any of them — a different mesh, one
-    moved station, another rake — yields a different key, which is the
-    cache-invalidation rule.
+    the full subfault table, the ordered station list, the scalar model
+    parameters, and the bank dtype. Any change to any of them — a
+    different mesh, one moved station, another rake, a float32 bank —
+    yields a different key, which is the cache-invalidation rule (and
+    what makes a float32 run unable to silently hit a float64 entry).
     """
     h = hashlib.sha256()
     h.update(b"gfbank-v1\x1f")
@@ -101,7 +103,8 @@ def gf_bank_key(
             [rake_deg, shear_velocity_kms, min_distance_km]
         ).tobytes()
     )
-    h.update(str(gf_method).encode("utf-8"))
+    h.update(str(gf_method).encode("utf-8") + b"\x1f")
+    h.update(str(np.dtype(dtype)).encode("utf-8"))
     return h.hexdigest()
 
 
@@ -242,13 +245,16 @@ class GFCache:
         rake_deg: float = DEFAULT_RAKE_DEG,
         shear_velocity_kms: float = DEFAULT_SHEAR_VELOCITY_KMS,
         min_distance_km: float = 1.0,
+        dtype: str = "float64",
         compute: Callable[[], GreensFunctionBank] | None = None,
     ) -> GreensFunctionBank:
         """Return the bank for these inputs, computing it at most once.
 
         ``compute`` overrides the default kernel call (used by the Okada
         flavour and by tests); its result is stored under the
-        content-addressed key of the inputs.
+        content-addressed key of the inputs. ``dtype`` is part of that
+        key, so float32 and float64 banks of the same physics occupy
+        distinct entries.
         """
         key = gf_bank_key(
             geometry,
@@ -257,6 +263,7 @@ class GFCache:
             rake_deg=rake_deg,
             shear_velocity_kms=shear_velocity_kms,
             min_distance_km=min_distance_km,
+            dtype=dtype,
         )
         bank = self.get(key)
         if bank is not None:
@@ -266,7 +273,7 @@ class GFCache:
         elif gf_method == "okada":
             from repro.seismo.okada import compute_okada_gf_bank
 
-            bank = compute_okada_gf_bank(geometry, network)
+            bank = compute_okada_gf_bank(geometry, network, dtype=dtype)
         else:
             bank = compute_gf_bank(
                 geometry,
@@ -274,6 +281,7 @@ class GFCache:
                 rake_deg=rake_deg,
                 shear_velocity_kms=shear_velocity_kms,
                 min_distance_km=min_distance_km,
+                dtype=dtype,
             )
         self.put(key, bank)
         return bank

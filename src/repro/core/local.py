@@ -88,6 +88,7 @@ def _fakequakes_for(
         n_stations=config.n_stations,
         mw_range=config.mw_range,
         mesh=config.mesh,
+        gf_dtype=config.gf_dtype,
         seed=config.seed,
     )
     return FakeQuakes.from_parameters(params, gf_cache=gf_cache, kl_cache=kl_cache)
@@ -424,7 +425,10 @@ class LocalRunner:
                 c_done(i, rows)
         else:
             key = gf_bank_key(
-                fq.geometry, fq.network, gf_method=fq.params.gf_method
+                fq.geometry,
+                fq.network,
+                gf_method=fq.params.gf_method,
+                dtype=fq.params.gf_dtype,
             )
             handle = self._shared_handle(key, fq)
             spool: Path | None = None

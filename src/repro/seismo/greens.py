@@ -137,8 +137,35 @@ class GreensFunctionBank:
 
         What storage layers (:mod:`repro.core.gfcache` shared-memory
         publishing, :mod:`repro.vdc.storage` placement) charge for.
+        Dtype-aware: a float32 bank reports half the bytes of its
+        float64 twin.
         """
         return int(self.statics.nbytes) + int(self.travel_time_s.nbytes)
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Floating dtype of the bank arrays (float64 unless opted in)."""
+        return self.statics.dtype
+
+    def astype(self, dtype: str | np.dtype) -> "GreensFunctionBank":
+        """Return a copy of the bank cast to ``dtype``.
+
+        ``float32`` halves :attr:`nbytes` (and therefore Stash/OSDF
+        transfer bytes in the VDC model) at the cost of ~1e-7 relative
+        error in synthesized waveforms — see DESIGN.md for the measured
+        budget. A no-op cast still returns a new bank.
+        """
+        out = np.dtype(dtype)
+        if out not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise GreensFunctionError(
+                f"GF bank dtype must be float64 or float32, got {out}"
+            )
+        return GreensFunctionBank(
+            statics=self.statics.astype(out),
+            travel_time_s=self.travel_time_s.astype(out),
+            station_names=self.station_names,
+            fault_name=self.fault_name,
+        )
 
     def station_index(self, name: str) -> int:
         """Index of a station by code."""
@@ -187,6 +214,7 @@ def compute_gf_bank(
     rake_deg: float = DEFAULT_RAKE_DEG,
     shear_velocity_kms: float = DEFAULT_SHEAR_VELOCITY_KMS,
     min_distance_km: float = 1.0,
+    dtype: str | np.dtype = "float64",
 ) -> GreensFunctionBank:
     """Compute the static GF bank for every (station, subfault) pair.
 
@@ -205,6 +233,9 @@ def compute_gf_bank(
     min_distance_km:
         Distances are floored at this value to keep the near-field
         amplitude finite for stations nearly atop a subfault.
+    dtype:
+        Output dtype of the bank arrays; the computation itself always
+        runs in float64 and ``"float32"`` casts the finished bank.
     """
     if min_distance_km <= 0:
         raise GreensFunctionError(f"min_distance_km must be positive, got {min_distance_km}")
@@ -260,9 +291,12 @@ def compute_gf_bank(
     statics = np.stack([ue, un, uz], axis=-1)
     travel = r / shear_velocity_kms
 
-    return GreensFunctionBank(
+    bank = GreensFunctionBank(
         statics=statics,
         travel_time_s=travel,
         station_names=tuple(network.names),
         fault_name=geometry.name,
     )
+    if np.dtype(dtype) != np.dtype(np.float64):
+        bank = bank.astype(dtype)
+    return bank

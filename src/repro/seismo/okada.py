@@ -197,20 +197,18 @@ def okada85(
     return ux, uy, uz
 
 
-def compute_okada_gf_bank(
+def _reference_bank_arrays(
     geometry: FaultGeometry,
     network: StationNetwork,
-    rake_deg: float = 90.0,
-    shear_velocity_kms: float = DEFAULT_SHEAR_VELOCITY_KMS,
-) -> GreensFunctionBank:
-    """Finite-fault static GF bank via Okada's solution.
+    ss: float,
+    ds: float,
+    shear_velocity_kms: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-subfault Python loop — the bit-identity oracle.
 
-    For each subfault, stations are rotated into the subfault's local
-    frame, the Okada displacement for 1 m of rake-directed slip is
-    evaluated, and the result is rotated back to (east, north, up).
-    Drop-in compatible with :func:`repro.seismo.greens.compute_gf_bank`
-    (same :class:`GreensFunctionBank` product), and more accurate in the
-    near field where the point-source approximation breaks down.
+    Kept verbatim from the original implementation so the vectorized
+    engine can be pinned against it (same pattern as the DES pool's
+    reference engine).
     """
     east_f, north_f, depth_f = geometry.enu()
     east_s, north_s = geometry.projection.to_enu(network.lons, network.lats)
@@ -218,10 +216,6 @@ def compute_okada_gf_bank(
     n_sub = geometry.n_subfaults
     statics = np.zeros((n_sta, n_sub, 3))
     travel = np.zeros((n_sta, n_sub))
-
-    rake = np.radians(rake_deg)
-    ss = float(np.cos(rake))  # strike-slip component of unit slip
-    ds = float(np.sin(rake))  # dip-slip component
 
     for j in range(n_sub):
         strike = np.radians(geometry.strike_deg[j])
@@ -267,6 +261,138 @@ def compute_okada_gf_bank(
         statics[:, j, 2] = uz
         slant = np.sqrt(de**2 + dn**2 + depth_f[j] ** 2)
         travel[:, j] = slant / shear_velocity_kms
+
+    return statics, travel
+
+
+def _vector_bank_arrays(
+    geometry: FaultGeometry,
+    network: StationNetwork,
+    ss: float,
+    ds: float,
+    shear_velocity_kms: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Broadcast Okada over all (station, subfault) pairs at once.
+
+    The Chinnery corner difference f(x,p) - f(x,p-W) - f(x-L,p) +
+    f(x-L,p-W) is evaluated on a ``(n_sta, n_sub, 4)`` tensor: axis 2
+    holds the four corner arguments, so each corner function runs once
+    per slip component instead of ``3 * n_sub`` times. Every elementwise
+    expression matches the scalar path operation-for-operation, which is
+    what makes the result bit-identical to the reference loop (IEEE-754
+    ufunc loops do not depend on array shape).
+    """
+    east_f, north_f, depth_f = geometry.enu()
+    east_s, north_s = geometry.projection.to_enu(network.lons, network.lats)
+    n_sta = len(network)
+    n_sub = geometry.n_subfaults
+
+    dip_deg = geometry.dip_deg.astype(float)
+    length = geometry.length_km.astype(float)
+    width = geometry.width_km.astype(float)
+    strike = np.radians(geometry.strike_deg.astype(float))
+
+    half_dz = 0.5 * width * np.sin(np.radians(dip_deg))
+    bottom_depth = depth_f + half_dz
+    if np.any(bottom_depth <= 0):
+        bad = float(bottom_depth.min())
+        raise GreensFunctionError(f"bottom-edge depth must be > 0 km, got {bad}")
+    if np.any(~((dip_deg > 0.0) & (dip_deg <= 90.0))):
+        raise GreensFunctionError(f"dip must be in (0, 90], got {dip_deg}")
+    if np.any(length <= 0) or np.any(width <= 0):
+        raise GreensFunctionError("fault dimensions must be positive")
+
+    # Station offsets -> fault-local frames, all subfaults at once.
+    de = east_s[:, None] - east_f[None, :]
+    dn = north_s[:, None] - north_f[None, :]
+    sin_s = np.sin(strike)[None, :]
+    cos_s = np.cos(strike)[None, :]
+    sx = de * sin_s + dn * cos_s
+    sy_updip = -(de * cos_s - dn * sin_s)
+    x_loc = sx + (0.5 * length)[None, :]
+    y_loc = sy_updip + (0.5 * width * np.cos(np.radians(dip_deg)))[None, :]
+
+    # Corner tensor: axis 2 enumerates Chinnery's four (xi, eta)
+    # arguments, signed (+, -, -, +) when recombined below.
+    dip = np.minimum(dip_deg, 89.999)
+    sd = np.sin(np.radians(dip))[None, :, None]
+    cd = np.cos(np.radians(dip))[None, :, None]
+    d = bottom_depth[None, :, None]
+    yv = y_loc[:, :, None]
+    p = yv * cd + d * sd
+    q = yv * sd - d * cd
+    const = (q, sd, cd)
+    L = length[None, :, None]
+    W = width[None, :, None]
+    xv = x_loc[:, :, None]
+    xi = np.concatenate([xv, xv, xv - L, xv - L], axis=2)
+    eta = np.concatenate([p, p - W, p, p - W], axis=2)
+
+    ux = np.zeros((n_sta, n_sub))
+    uy = np.zeros_like(ux)
+    uz = np.zeros_like(ux)
+    for slip_amt, corner in ((ss, _strike_slip_corner), (ds, _dip_slip_corner)):
+        if slip_amt != 0.0:
+            cx, cy, cz = corner(xi, eta, const)
+            factor = -slip_amt / (2.0 * np.pi)
+            ux += factor * (cx[..., 0] - cx[..., 1] - cx[..., 2] + cx[..., 3])
+            uy += factor * (cy[..., 0] - cy[..., 1] - cy[..., 2] + cy[..., 3])
+            uz += factor * (cz[..., 0] - cz[..., 1] - cz[..., 2] + cz[..., 3])
+
+    ue = ux * sin_s - uy * cos_s
+    un = ux * cos_s + uy * sin_s
+    statics = np.stack([ue, un, uz], axis=2)
+    slant = np.sqrt(de**2 + dn**2 + (depth_f**2)[None, :])
+    travel = slant / shear_velocity_kms
+    return statics, travel
+
+
+_ENGINES = ("vector", "reference")
+
+
+def compute_okada_gf_bank(
+    geometry: FaultGeometry,
+    network: StationNetwork,
+    rake_deg: float = 90.0,
+    shear_velocity_kms: float = DEFAULT_SHEAR_VELOCITY_KMS,
+    engine: str = "vector",
+    dtype: str | np.dtype = "float64",
+) -> GreensFunctionBank:
+    """Finite-fault static GF bank via Okada's solution.
+
+    For each subfault, stations are rotated into the subfault's local
+    frame, the Okada displacement for 1 m of rake-directed slip is
+    evaluated, and the result is rotated back to (east, north, up).
+    Drop-in compatible with :func:`repro.seismo.greens.compute_gf_bank`
+    (same :class:`GreensFunctionBank` product), and more accurate in the
+    near field where the point-source approximation breaks down.
+
+    ``engine="vector"`` (default) broadcasts the Chinnery corner
+    evaluations over all (station, subfault) pairs; ``"reference"`` is
+    the original per-subfault loop, kept as the bit-identity oracle.
+    Both always compute in float64; ``dtype="float32"`` casts the
+    finished bank for half-size storage/transfer (see DESIGN.md for the
+    measured error budget).
+    """
+    if engine not in _ENGINES:
+        raise GreensFunctionError(
+            f"unknown okada engine {engine!r}; expected one of {_ENGINES}"
+        )
+    out_dtype = np.dtype(dtype)
+    if out_dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
+        raise GreensFunctionError(
+            f"GF bank dtype must be float64 or float32, got {out_dtype}"
+        )
+
+    rake = np.radians(rake_deg)
+    ss = float(np.cos(rake))  # strike-slip component of unit slip
+    ds = float(np.sin(rake))  # dip-slip component
+
+    build = _vector_bank_arrays if engine == "vector" else _reference_bank_arrays
+    statics, travel = build(geometry, network, ss, ds, shear_velocity_kms)
+    if out_dtype != np.dtype(np.float64):
+        statics = statics.astype(out_dtype)
+        travel = travel.astype(out_dtype)
 
     return GreensFunctionBank(
         statics=statics,

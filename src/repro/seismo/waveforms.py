@@ -171,7 +171,20 @@ class WaveformSynthesizer:
         the slowest travel time plus a tail.
     noise:
         Optional additive noise model; omit for clean synthetics.
+    method:
+        ``"time"`` (default) lags each subfault's ramp in the time
+        domain — bit-identical between the scalar and batched paths.
+        ``"fft"`` applies the arrival delays as phase shifts on the
+        ``rfft`` of a shared complement-pulse stack; band-limited
+        fractional-delay interpolation makes it approximate (relative
+        PGD error ~1e-6, see DESIGN.md), so it is strictly opt-in.
     """
+
+    _METHODS = ("time", "fft")
+
+    #: Width (samples) of the raised-cosine wrap transition the FFT
+    #: method parks past the record end (see :meth:`_synthesize_fft`).
+    _FFT_WRAP_SAMPLES = 48
 
     def __init__(
         self,
@@ -179,15 +192,44 @@ class WaveformSynthesizer:
         dt_s: float = 1.0,
         duration_s: float | None = None,
         noise: GnssNoiseModel | None = None,
+        method: str = "time",
     ) -> None:
         if dt_s <= 0:
             raise WaveformError(f"dt must be positive, got {dt_s}")
         if duration_s is not None and duration_s <= 0:
             raise WaveformError(f"duration must be positive, got {duration_s}")
+        if method not in self._METHODS:
+            raise WaveformError(
+                f"unknown synthesis method {method!r}; expected one of {self._METHODS}"
+            )
         self.gf_bank = gf_bank
         self.dt_s = float(dt_s)
         self.duration_s = duration_s
         self.noise = noise
+        self.method = method
+
+    @property
+    def _work_dtype(self) -> np.dtype:
+        """Dtype the synthesis runs in — the bank's own dtype.
+
+        A float32 bank keeps the whole ramp/matmul pipeline in float32
+        (half the memory traffic, sgemm instead of dgemm); float64 banks
+        keep the historical bit-exact pipeline.
+        """
+        return self.gf_bank.statics.dtype
+
+    def _times(self, nt: int) -> np.ndarray:
+        return (np.arange(nt) * self.dt_s).astype(self._work_dtype, copy=False)
+
+    def _source_arrays(
+        self, rupture: Rupture
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(slip, onset, floored rise) cast to the working dtype."""
+        w = self._work_dtype
+        slip = rupture.slip_m.astype(w, copy=False)
+        onset = rupture.onset_time_s.astype(w, copy=False)
+        rise = np.maximum(rupture.rise_time_s, self.dt_s * 0.5).astype(w, copy=False)
+        return slip, onset, rise
 
     def _record_length(self, rupture: Rupture, patch_tt: np.ndarray) -> int:
         if self.duration_s is not None:
@@ -220,22 +262,24 @@ class WaveformSynthesizer:
         gf = self.gf_bank.statics[:, patch, :]  # (nsta, npatch, 3) view
         tt = self.gf_bank.travel_time_s[:, patch]  # (nsta, npatch)
         nt = self._record_length(rupture, tt)
-        times = np.arange(nt) * self.dt_s
 
-        n_sta = self.gf_bank.n_stations
-        out = np.empty((n_sta, 3, nt))
-        slip = rupture.slip_m
-        onset = rupture.onset_time_s
-        rise = np.maximum(rupture.rise_time_s, self.dt_s * 0.5)
+        if self.method == "fft":
+            out = self._synthesize_fft(rupture, gf, tt, nt)
+        else:
+            times = self._times(nt)
+            n_sta = self.gf_bank.n_stations
+            out = np.empty((n_sta, 3, nt), dtype=self._work_dtype)
+            slip, onset, rise = self._source_arrays(rupture)
 
-        # Per-station vectorized accumulation; (npatch, nt) intermediate
-        # keeps memory bounded for large meshes (see DESIGN.md).
-        for i in range(n_sta):
-            arrival = onset + tt[i]  # (npatch,)
-            x = (times[None, :] - arrival[:, None]) / rise[:, None]
-            ramp = 0.5 * (1.0 - np.cos(np.pi * np.clip(x, 0.0, 1.0)))
-            weighted = gf[i] * slip[:, None]  # (npatch, 3)
-            out[i] = weighted.T @ ramp  # (3, nt)
+            # Per-station vectorized accumulation; (npatch, nt)
+            # intermediate keeps memory bounded for large meshes (see
+            # DESIGN.md).
+            for i in range(n_sta):
+                arrival = onset + tt[i]  # (npatch,)
+                x = (times[None, :] - arrival[:, None]) / rise[:, None]
+                ramp = 0.5 * (1.0 - np.cos(np.pi * np.clip(x, 0.0, 1.0)))
+                weighted = gf[i] * slip[:, None]  # (npatch, 3)
+                out[i] = weighted.T @ ramp  # (3, nt)
 
         if self.noise is not None:
             out += self.noise.sample(rng, out.shape, self.dt_s)  # type: ignore[arg-type]
@@ -247,6 +291,82 @@ class WaveformSynthesizer:
             station_names=self.gf_bank.station_names,
             metadata={"target_mw": rupture.target_mw},
         )
+
+    def _synthesize_fft(
+        self,
+        rupture: Rupture,
+        gf: np.ndarray,
+        tt: np.ndarray,
+        nt: int,
+    ) -> np.ndarray:
+        """FFT-domain synthesis core: delays applied as phase shifts.
+
+        The ramp of a subfault arriving at ``a`` is a *step* (it never
+        comes back down), so it cannot be circularly delayed directly.
+        Decompose it instead: ``r(t - a) = 1 - c(t - a)`` where the
+        complement pulse ``c = 1 - r`` is compactly supported on
+        ``[0, rise]`` — and park a raised-cosine 0->1 transition in the
+        zero-padded region past the record end so the circular signal
+        wraps continuously. Then one ``rfft`` of the shared complement
+        stack, per-station delay phases ``z^k`` built by repeated
+        squaring (log2(F) complex-multiply passes instead of a
+        transcendental per (patch, frequency)), a (3, npatch) x
+        (npatch, F) matmul in the frequency domain, and one ``irfft``
+        per station. Band-limited fractional-delay interpolation makes
+        the result approximate at the ~1e-6 relative-PGD level.
+        """
+        n_sta = self.gf_bank.n_stations
+        slip = rupture.slip_m.astype(float, copy=False)
+        onset = rupture.onset_time_s.astype(float, copy=False)
+        rise = np.maximum(rupture.rise_time_s, self.dt_s * 0.5).astype(
+            float, copy=False
+        )
+        dt = self.dt_s
+
+        arrivals = onset[None, :] + tt.astype(float, copy=False)  # (nsta, npatch)
+        tau_max = float(arrivals.max()) / dt
+        wrap = self._FFT_WRAP_SAMPLES
+        b0 = nt
+        n_min = int(np.ceil(b0 + wrap + tau_max)) + 2
+        nfft = 1 << (n_min - 1).bit_length()
+        n_freq = nfft // 2 + 1
+
+        # Shared complement-pulse stack: 1 -> 0 over each patch's rise
+        # time, flat 0, then the wrap transition back to 1 past the
+        # record end (delays only push it further out, never into the
+        # [0, nt) window the caller keeps).
+        xx = (np.arange(nfft) * dt)[None, :] / rise[:, None]
+        c0 = 1.0 - 0.5 * (1.0 - np.cos(np.pi * np.clip(xx, 0.0, 1.0)))
+        c0[:, b0 : b0 + wrap] = (
+            0.5 * (1.0 - np.cos(np.pi * np.arange(wrap) / wrap))
+        )[None, :]
+        c0[:, b0 + wrap :] = 1.0
+        spec = np.fft.rfft(c0, axis=1)  # (npatch, n_freq)
+
+        weighted = gf.astype(float, copy=False) * slip[None, :, None]
+        static = weighted.sum(axis=1)  # (nsta, 3)
+        alpha = (2.0 * np.pi / (nfft * dt)) * arrivals
+
+        out = np.empty((n_sta, 3, nt), dtype=self._work_dtype)
+        phases = np.empty((len(slip), n_freq), dtype=complex)
+        for i in range(n_sta):
+            # phases[:, k] = z^k with z = exp(-i alpha): doubling fills
+            # [m, 2m) from [0, m) with one vectorized multiply per pass.
+            z = np.exp(-1j * alpha[i])
+            phases[:, 0] = 1.0
+            z_m = z.copy()
+            m = 1
+            while m < n_freq:
+                take = min(m, n_freq - m)
+                np.multiply(
+                    phases[:, :take], z_m[:, None], out=phases[:, m : m + take]
+                )
+                np.multiply(z_m, z_m, out=z_m)
+                m *= 2
+            hat = weighted[i].T @ (spec * phases)  # (3, n_freq)
+            delayed = np.fft.irfft(hat, n=nfft, axis=1)[:, :nt]
+            out[i] = static[i][:, None] - delayed
+        return out
 
     def synthesize_many(
         self,
@@ -308,6 +428,22 @@ class WaveformSynthesizer:
         if self.noise is not None and any(r is None for r in rng_list):
             raise WaveformError("noise model configured but no rng supplied")
 
+        if self.method == "fft":
+            # The FFT core is already a whole-network batch per rupture;
+            # chunking adds nothing, so just run it per rupture (same
+            # products as a :meth:`synthesize` loop).
+            outs = []
+            for rupture in ruptures:
+                patch = rupture.subfault_indices
+                gf = bank.statics[:, patch, :]
+                tt = bank.travel_time_s[:, patch]
+                outs.append(
+                    self._synthesize_fft(
+                        rupture, gf, tt, self._record_length(rupture, tt)
+                    )
+                )
+            return self._assemble(ruptures, outs, rng_list)
+
         # Concatenate every rupture's patch into one axis; `segments`
         # holds each rupture's [start, end) slice of that axis.
         counts = [r.n_subfaults for r in ruptures]
@@ -316,11 +452,11 @@ class WaveformSynthesizer:
             (int(offsets[k]), int(offsets[k + 1])) for k in range(len(ruptures))
         ]
         patch_all = np.concatenate([r.subfault_indices for r in ruptures])
-        slip_all = np.concatenate([r.slip_m for r in ruptures])
-        onsets = [r.onset_time_s for r in ruptures]
-        rises = [
-            np.maximum(r.rise_time_s, self.dt_s * 0.5) for r in ruptures
-        ]
+        work = self._work_dtype
+        sources = [self._source_arrays(r) for r in ruptures]
+        slip_all = np.concatenate([s for s, _, _ in sources])
+        onsets = [o for _, o, _ in sources]
+        rises = [r for _, _, r in sources]
 
         gf_all = bank.statics[:, patch_all, :]  # (nsta, sum_npatch, 3)
         tt_all = bank.travel_time_s[:, patch_all]  # (nsta, sum_npatch)
@@ -328,7 +464,7 @@ class WaveformSynthesizer:
             self._record_length(rupture, tt_all[:, s:e])
             for rupture, (s, e) in zip(ruptures, segments)
         ]
-        times = np.arange(max(nts)) * self.dt_s
+        times = self._times(max(nts))
 
         # Records are ragged (each rupture sizes its own nt), so the
         # chunk's (patch x time) planes are packed back-to-back into one
@@ -337,7 +473,7 @@ class WaveformSynthesizer:
         # scalar path builds, which is what keeps products bit-identical.
         plane_sizes = [c * nt for c, nt in zip(counts, nts)]
         plane_offsets = np.concatenate([[0], np.cumsum(plane_sizes)])
-        buf = np.empty(int(plane_offsets[-1]))
+        buf = np.empty(int(plane_offsets[-1]), dtype=work)
         planes = [
             buf[int(plane_offsets[k]) : int(plane_offsets[k + 1])].reshape(
                 counts[k], nts[k]
@@ -347,17 +483,20 @@ class WaveformSynthesizer:
 
         # The ramp transform t(x) = 0.5*(1 - cos(pi*x)) fixes the
         # clipped plateaus exactly (cos(0) == 1 and cos(pi) == -1 in
-        # IEEE double), so after clipping only the narrow rise band
-        # 0 < x < 1 — typically a few percent of the plane — needs the
-        # transcendental evaluation. Guard the fixed points anyway so an
-        # exotic libm falls back to transforming everything.
+        # IEEE arithmetic — checked in the *working* dtype, since a
+        # float32 bank runs the whole chain in float32), so after
+        # clipping only the narrow rise band 0 < x < 1 — typically a few
+        # percent of the plane — needs the transcendental evaluation.
+        # Guard the fixed points anyway so an exotic libm falls back to
+        # transforming everything.
+        w_ = work.type
         plateaus_exact = (
-            0.5 * (1.0 - np.cos(np.pi * 0.0)) == 0.0
-            and 0.5 * (1.0 - np.cos(np.pi * 1.0)) == 1.0
+            w_(0.5) * (w_(1.0) - np.cos(w_(np.pi) * w_(0.0))) == w_(0.0)
+            and w_(0.5) * (w_(1.0) - np.cos(w_(np.pi) * w_(1.0))) == w_(1.0)
         )
 
         n_sta = bank.n_stations
-        outs = [np.empty((n_sta, 3, nt)) for nt in nts]
+        outs = [np.empty((n_sta, 3, nt), dtype=work) for nt in nts]
         for i in range(n_sta):
             for k, (s, e) in enumerate(segments):
                 arrival = onsets[k] + tt_all[i, s:e]  # (npatch,)
@@ -382,17 +521,34 @@ class WaveformSynthesizer:
             for k, (s, e) in enumerate(segments):
                 outs[k][i] = weighted_all[s:e].T @ planes[k]
 
+        return self._assemble(ruptures, outs, rng_list)
+
+    def _assemble(
+        self,
+        ruptures: list[Rupture],
+        outs: list[np.ndarray],
+        rng_list: list[np.random.Generator | None],
+    ) -> list[WaveformSet]:
+        """Add per-rupture noise and wrap the raw arrays as WaveformSets.
+
+        The noise draw is float64; casting the sum back to the working
+        dtype reproduces the scalar path's in-place ``+=`` (which rounds
+        each float64 sum into the float32 output buffer).
+        """
+        work = self._work_dtype
         sets: list[WaveformSet] = []
         for k, rupture in enumerate(ruptures):
             out = outs[k]
             if self.noise is not None:
                 out = out + self.noise.sample(rng_list[k], out.shape, self.dt_s)  # type: ignore[arg-type]
+                if out.dtype != work:
+                    out = out.astype(work)
             sets.append(
                 WaveformSet(
                     rupture_id=rupture.rupture_id,
                     data=out,
                     dt_s=self.dt_s,
-                    station_names=bank.station_names,
+                    station_names=self.gf_bank.station_names,
                     metadata={"target_mw": rupture.target_mw},
                 )
             )

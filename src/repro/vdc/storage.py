@@ -93,6 +93,7 @@ class FederatedStorage:
         self._usage_mb: dict[str, float] = {name: 0.0 for name in self.sites}
         self._sizes: dict[str, float] = {}
         self._bank_keys: dict[str, str] = {}  # product_id -> GF cache key
+        self._bank_dtypes: dict[str, str] = {}  # product_id -> bank dtype
 
     def site(self, name: str) -> StorageSite:
         """Site by name."""
@@ -175,6 +176,13 @@ class FederatedStorage:
         self.site(site)
         return self._usage_mb[site]
 
+    def product_size_mb(self, product_id: str) -> float:
+        """Charged size of a product in MB (what every transfer pays)."""
+        size = self._sizes.get(product_id)
+        if size is None:
+            raise StorageError(f"unknown product {product_id!r}")
+        return size
+
     # -- bank-valued products (routed through the GF cache) -------------------
 
     def _require_cache(self) -> "GFCache":
@@ -201,6 +209,11 @@ class FederatedStorage:
         the entry with in-process producers (``LocalRunner``); the
         default derives a key from the product id. Returns the charged
         size in MB.
+
+        The charge is ``bank.nbytes``, so a float32 bank occupies (and
+        every later WAN transfer of it pays for) half the bytes of its
+        float64 twin — the Stash/OSDF transfer saving the opt-in dtype
+        buys.
         """
         cache = self._require_cache()
         if key is None:
@@ -208,12 +221,17 @@ class FederatedStorage:
         size_mb = bank.nbytes / (1024.0 * 1024.0)
         self.store(product_id, size_mb, site)
         self._bank_keys[product_id] = key
+        self._bank_dtypes[product_id] = str(bank.dtype)
         cache.put(key, bank)
         return size_mb
 
     def bank_key(self, product_id: str) -> str | None:
         """GF-cache key of a bank-valued product, or ``None``."""
         return self._bank_keys.get(product_id)
+
+    def bank_dtype(self, product_id: str) -> str | None:
+        """Recorded dtype of a bank-valued product, or ``None``."""
+        return self._bank_dtypes.get(product_id)
 
     def fetch_bank(
         self, product_id: str, home_site: str

@@ -108,3 +108,16 @@ def test_read_validates_result(tmp_path):
     path.write_text("[fdw]\nn_waveforms = -5\n")
     with pytest.raises(ConfigError):
         FdwConfig.read(path)
+
+
+def test_gf_dtype_roundtrip_and_validation(tmp_path):
+    config = FdwConfig(gf_dtype="float32", name="f32run")
+    path = config.write(tmp_path / "f32.cfg")
+    assert "gf_dtype = float32" in path.read_text()
+    assert FdwConfig.read(path) == config
+    with pytest.raises(ConfigError):
+        FdwConfig(gf_dtype="float16")
+    bad = tmp_path / "bad.cfg"
+    bad.write_text("[fdw]\ngf_dtype = double\n")
+    with pytest.raises(ConfigError):
+        FdwConfig.read(bad)

@@ -203,3 +203,47 @@ def test_attach_after_unlink_raises(small_gf_bank):
         shm.unlink()
     with pytest.raises(CacheError):
         attach_shared_bank(handle)
+
+
+# -- dtype keying (no silent cross-dtype hits) --------------------------------
+
+
+def test_key_invalidates_on_dtype(small_geometry, small_network):
+    base = gf_bank_key(small_geometry, small_network)
+    assert gf_bank_key(small_geometry, small_network, dtype="float64") == base
+    assert gf_bank_key(small_geometry, small_network, dtype="float32") != base
+
+
+def test_get_or_compute_keeps_dtypes_separate(small_geometry, small_network):
+    cache = GFCache()
+    full = cache.get_or_compute(small_geometry, small_network)
+    half = cache.get_or_compute(small_geometry, small_network, dtype="float32")
+    assert full.dtype == np.float64
+    assert half.dtype == np.float32
+    assert cache.stats.misses == 2  # float32 never hits the float64 entry
+    # Both entries are warm now.
+    again = cache.get_or_compute(small_geometry, small_network, dtype="float32")
+    assert again is half
+    assert cache.stats.memory_hits == 1
+
+
+def test_get_or_compute_okada_dtype(small_geometry, small_network):
+    cache = GFCache()
+    bank = cache.get_or_compute(
+        small_geometry, small_network, gf_method="okada", dtype="float32"
+    )
+    assert bank.dtype == np.float32
+
+
+def test_publish_attach_float32_roundtrip(small_gf_bank):
+    half = small_gf_bank.astype("float32")
+    handle, segments = publish_shared_bank(half, "f32key")
+    try:
+        attached = attach_shared_bank(handle)
+        assert attached.dtype == np.float32
+        assert np.array_equal(attached.statics, half.statics)
+    finally:
+        detach_shared_banks()
+        for shm in segments:
+            shm.close()
+            shm.unlink()

@@ -122,3 +122,31 @@ def test_noise_flag_adds_noise():
     clean_sets = FakeQuakes.from_parameters(base).run_sequential()
     noisy_sets = FakeQuakes.from_parameters(noisy).run_sequential()
     assert not np.allclose(clean_sets[0].data, noisy_sets[0].data)
+
+
+class TestGfDtype:
+    def test_invalid_gf_dtype_rejected(self):
+        with pytest.raises(ConfigError):
+            FakeQuakesParameters(gf_dtype="float16")
+
+    def test_phase_b_honours_gf_dtype(self):
+        params = FakeQuakesParameters(
+            n_ruptures=2, n_stations=3, mesh=(6, 4), gf_dtype="float32", seed=5
+        )
+        fq = FakeQuakes.from_parameters(params)
+        bank = fq.phase_b_greens_functions()
+        assert bank.dtype == np.float32
+        # And Phase C runs in the bank's dtype end to end.
+        ruptures = fq.phase_a_ruptures(0, 2)
+        sets = fq.phase_c_waveforms(ruptures)
+        assert all(ws.data.dtype == np.float32 for ws in sets)
+
+    def test_phase_b_honours_gf_dtype_through_cache(self):
+        from repro.core.gfcache import GFCache
+
+        cache = GFCache()
+        params = FakeQuakesParameters(
+            n_ruptures=2, n_stations=3, mesh=(6, 4), gf_dtype="float32", seed=5
+        )
+        fq = FakeQuakes.from_parameters(params, gf_cache=cache)
+        assert fq.phase_b_greens_functions().dtype == np.float32

@@ -145,3 +145,37 @@ def test_gf_cost_scales_with_station_count(small_geometry):
     small = compute_gf_bank(small_geometry, chilean_network(2))
     large = compute_gf_bank(small_geometry, chilean_network(8))
     assert large.statics.size == 4 * small.statics.size
+
+
+class TestBankDtype:
+    """Dtype-aware nbytes / save / load / astype (the float32 GF mode)."""
+
+    def test_default_dtype_is_float64(self, small_gf_bank):
+        assert small_gf_bank.dtype == np.float64
+
+    def test_astype_halves_nbytes(self, small_gf_bank):
+        half = small_gf_bank.astype("float32")
+        assert half.dtype == np.float32
+        assert half.nbytes * 2 == small_gf_bank.nbytes
+        assert np.array_equal(
+            half.statics, small_gf_bank.statics.astype(np.float32)
+        )
+
+    def test_astype_rejects_non_float(self, small_gf_bank):
+        with pytest.raises(GreensFunctionError):
+            small_gf_bank.astype("int32")
+
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_save_load_roundtrips_dtype(self, tmp_path, small_gf_bank, dtype):
+        bank = small_gf_bank.astype(dtype)
+        path = bank.save(tmp_path / f"bank_{dtype}.npz")
+        loaded = GreensFunctionBank.load(path)
+        assert loaded.dtype == np.dtype(dtype)
+        assert np.array_equal(loaded.statics, bank.statics)
+        assert np.array_equal(loaded.travel_time_s, bank.travel_time_s)
+
+    def test_compute_gf_bank_dtype_param(self, small_geometry, small_network):
+        full = compute_gf_bank(small_geometry, small_network)
+        half = compute_gf_bank(small_geometry, small_network, dtype="float32")
+        assert half.dtype == np.float32
+        assert np.array_equal(half.statics, full.statics.astype(np.float32))

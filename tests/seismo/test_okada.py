@@ -136,3 +136,127 @@ class TestOkadaBank:
         rupture = rupture_generator.generate(np.random.default_rng(4), target_mw=8.2)
         ws = WaveformSynthesizer(bank).synthesize(rupture)
         assert float(ws.pgd_m().max()) > 0.0
+
+
+class TestGoldenValues:
+    """Okada (1985) Table 2 check cases: x=2, y=3, d=4, delta=70 deg,
+    L=3, W=2. Published surface displacements (4 significant digits)."""
+
+    CASE = dict(depth_km=4.0, dip_deg=70.0, length_km=3.0, width_km=2.0)
+
+    def test_case2_strike_slip(self):
+        ux, uy, uz = okada85(2.0, 3.0, strike_slip_m=1.0, **self.CASE)
+        assert float(ux) == pytest.approx(-8.689e-3, rel=2e-3)
+        assert float(uy) == pytest.approx(-4.298e-3, rel=2e-3)
+        assert float(uz) == pytest.approx(-2.747e-3, rel=2e-3)
+
+    def test_case2_dip_slip(self):
+        ux, uy, uz = okada85(2.0, 3.0, dip_slip_m=1.0, **self.CASE)
+        assert float(ux) == pytest.approx(-4.682e-3, rel=2e-3)
+        assert float(uy) == pytest.approx(-3.527e-2, rel=2e-3)
+        assert float(uz) == pytest.approx(-3.564e-2, rel=2e-3)
+
+
+class TestVectorEngine:
+    """The batched (station, subfault, 4-corner) engine against the
+    per-subfault reference loop — the PR's bit-identity contract."""
+
+    def test_bit_identical_on_small_mesh(self, small_geometry, small_network):
+        ref = compute_okada_gf_bank(small_geometry, small_network, engine="reference")
+        vec = compute_okada_gf_bank(small_geometry, small_network, engine="vector")
+        assert np.array_equal(ref.statics, vec.statics)
+        assert np.array_equal(ref.travel_time_s, vec.travel_time_s)
+
+    def test_bit_identical_for_oblique_rake(self, small_geometry, small_network):
+        ref = compute_okada_gf_bank(
+            small_geometry, small_network, rake_deg=37.0, engine="reference"
+        )
+        vec = compute_okada_gf_bank(small_geometry, small_network, rake_deg=37.0)
+        assert np.array_equal(ref.statics, vec.statics)
+
+    def test_unknown_engine_rejected(self, small_geometry, small_network):
+        with pytest.raises(GreensFunctionError):
+            compute_okada_gf_bank(small_geometry, small_network, engine="gpu")
+
+    def test_bad_dtype_rejected(self, small_geometry, small_network):
+        with pytest.raises(GreensFunctionError):
+            compute_okada_gf_bank(small_geometry, small_network, dtype="float16")
+
+    def test_float32_bank_is_cast_of_float64(self, small_geometry, small_network):
+        full = compute_okada_gf_bank(small_geometry, small_network)
+        half = compute_okada_gf_bank(small_geometry, small_network, dtype="float32")
+        assert half.statics.dtype == np.float32
+        assert half.travel_time_s.dtype == np.float32
+        assert np.array_equal(half.statics, full.statics.astype(np.float32))
+        assert half.nbytes * 2 == full.nbytes
+
+    def test_vector_validates_geometry_like_reference(self, small_network):
+        import dataclasses
+
+        from repro.seismo.geometry import build_chile_slab
+
+        geom = build_chile_slab(n_strike=4, n_dip=3)
+        flat = dataclasses.replace(
+            geom, dip_deg=np.zeros_like(geom.dip_deg)  # dip must be in (0, 90]
+        )
+        with pytest.raises(GreensFunctionError):
+            compute_okada_gf_bank(flat, small_network, engine="vector")
+        with pytest.raises(GreensFunctionError):
+            compute_okada_gf_bank(flat, small_network, engine="reference")
+
+
+class TestVectorEngineProperty:
+    """Hypothesis pin: vector == reference bit-for-bit across random
+    geometries, rakes, and station layouts."""
+
+    @staticmethod
+    def _random_case(seed, n_sub, n_sta, rake):
+        import dataclasses
+
+        from repro.seismo.geometry import build_chile_slab
+        from repro.seismo.stations import Station, StationNetwork
+
+        rng = np.random.default_rng(seed)
+        geom = build_chile_slab(n_strike=n_sub, n_dip=2)
+        n = geom.n_subfaults
+        geom = dataclasses.replace(
+            geom,
+            depth_km=rng.uniform(8.0, 40.0, n),
+            strike_deg=rng.uniform(0.0, 360.0, n),
+            dip_deg=rng.uniform(5.0, 90.0, n),
+            length_km=rng.uniform(5.0, 30.0, n),
+            width_km=rng.uniform(4.0, 15.0, n),
+        )
+        stations = StationNetwork(
+            [
+                Station(
+                    f"R{i:03d}",
+                    float(rng.uniform(-73.5, -69.0)),
+                    float(rng.uniform(-33.0, -27.0)),
+                )
+                for i in range(n_sta)
+            ]
+        )
+        return geom, stations
+
+    def test_property_vector_equals_reference(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=25, deadline=None)
+        @given(
+            seed=st.integers(0, 2**31 - 1),
+            n_sub=st.integers(2, 6),
+            n_sta=st.integers(1, 6),
+            rake=st.floats(-180.0, 180.0, allow_nan=False),
+        )
+        def check(seed, n_sub, n_sta, rake):
+            geom, stations = self._random_case(seed, n_sub, n_sta, rake)
+            ref = compute_okada_gf_bank(
+                geom, stations, rake_deg=rake, engine="reference"
+            )
+            vec = compute_okada_gf_bank(geom, stations, rake_deg=rake)
+            assert np.array_equal(ref.statics, vec.statics)
+            assert np.array_equal(ref.travel_time_s, vec.travel_time_s)
+
+        check()

@@ -118,3 +118,31 @@ class TestComparison:
         cmp = compare_waveform_sets(a, b)
         assert cmp.time_rms_m.shape == (1,)
         assert cmp.time_rms_m[0] > 0
+
+
+class TestBatchedSpectra:
+    def test_batched_matches_per_station_exactly(self, clean_set):
+        from repro.seismo.spectral import displacement_spectra
+
+        freqs_b, amps = displacement_spectra(clean_set)
+        assert amps.shape == (clean_set.n_stations, freqs_b.size)
+        for i, name in enumerate(clean_set.station_names):
+            freqs, amp = displacement_spectrum(clean_set, name)
+            assert np.array_equal(freqs, freqs_b)
+            assert np.array_equal(amp, amps[i])
+
+    def test_batched_no_detrend_matches(self, clean_set):
+        from repro.seismo.spectral import displacement_spectra
+
+        _, amps = displacement_spectra(clean_set, component=0, detrend=False)
+        for i, name in enumerate(clean_set.station_names):
+            _, amp = displacement_spectrum(
+                clean_set, name, component=0, detrend=False
+            )
+            assert np.array_equal(amp, amps[i])
+
+    def test_batched_component_validation(self, clean_set):
+        from repro.seismo.spectral import displacement_spectra
+
+        with pytest.raises(WaveformError):
+            displacement_spectra(clean_set, component=7)

@@ -207,3 +207,103 @@ def test_batch_noise_requires_rng(small_gf_bank, rupture_batch):
 def test_batch_empty_list(small_gf_bank):
     synth = WaveformSynthesizer(small_gf_bank)
     assert synth.synthesize_batch([]) == []
+
+
+class TestSynthesisMethods:
+    """The opt-in FFT-domain path and the float32 working dtype."""
+
+    def test_unknown_method_rejected(self, small_gf_bank):
+        with pytest.raises(WaveformError):
+            WaveformSynthesizer(small_gf_bank, method="wavelet")
+
+    def test_fft_matches_time_domain_within_budget(
+        self, small_gf_bank, sample_rupture
+    ):
+        time_ws = WaveformSynthesizer(small_gf_bank).synthesize(sample_rupture)
+        fft_ws = WaveformSynthesizer(small_gf_bank, method="fft").synthesize(
+            sample_rupture
+        )
+        assert fft_ws.data.shape == time_ws.data.shape
+        scale = float(time_ws.pgd_m().max())
+        # Band-limited fractional delays: small but nonzero deviation.
+        assert float(np.max(np.abs(fft_ws.data - time_ws.data))) < 1e-3 * scale
+        rel_pgd = np.max(
+            np.abs(fft_ws.pgd_m() - time_ws.pgd_m())
+            / np.maximum(time_ws.pgd_m(), 1e-12)
+        )
+        assert float(rel_pgd) < 1e-3
+        # The static field survives exactly where it matters most.
+        assert float(
+            np.max(np.abs(fft_ws.final_offsets_m() - time_ws.final_offsets_m()))
+        ) < 1e-6
+
+    def test_fft_scalar_equals_fft_batch(self, small_gf_bank, rupture_generator):
+        ruptures = [
+            rupture_generator.generate(
+                np.random.default_rng(40 + i), rupture_id=f"fft.{i}", target_mw=8.1
+            )
+            for i in range(3)
+        ]
+        synth = WaveformSynthesizer(small_gf_bank, method="fft")
+        scalar = [synth.synthesize(r) for r in ruptures]
+        batch = synth.synthesize_batch(ruptures)
+        for a, b in zip(scalar, batch):
+            assert np.array_equal(a.data, b.data)
+
+    def test_fft_fixed_duration(self, small_gf_bank, sample_rupture):
+        ws = WaveformSynthesizer(
+            small_gf_bank, duration_s=128.0, method="fft"
+        ).synthesize(sample_rupture)
+        assert ws.n_samples == 128
+
+
+class TestFloat32Synthesis:
+    """A float32 bank runs the whole pipeline in float32, within the
+    documented error budget against the float64 reference."""
+
+    def test_output_dtype_follows_bank(self, small_gf_bank, sample_rupture):
+        half = small_gf_bank.astype("float32")
+        ws = WaveformSynthesizer(half).synthesize(sample_rupture)
+        assert ws.data.dtype == np.float32
+
+    def test_scalar_equals_batch_in_float32(
+        self, small_gf_bank, rupture_generator
+    ):
+        half = small_gf_bank.astype("float32")
+        ruptures = [
+            rupture_generator.generate(
+                np.random.default_rng(60 + i), rupture_id=f"f32.{i}", target_mw=8.2
+            )
+            for i in range(3)
+        ]
+        synth = WaveformSynthesizer(half)
+        scalar = [synth.synthesize(r) for r in ruptures]
+        batch = synth.synthesize_batch(ruptures)
+        for a, b in zip(scalar, batch):
+            assert a.data.dtype == np.float32
+            assert np.array_equal(a.data, b.data)
+
+    def test_error_budget_vs_float64(self, small_gf_bank, sample_rupture):
+        full = WaveformSynthesizer(small_gf_bank).synthesize(sample_rupture)
+        half = WaveformSynthesizer(small_gf_bank.astype("float32")).synthesize(
+            sample_rupture
+        )
+        rel_pgd = np.max(
+            np.abs(half.pgd_m() - full.pgd_m()) / np.maximum(full.pgd_m(), 1e-12)
+        )
+        # Measured ~4e-7 max on the paper mesh; assert with margin.
+        assert float(rel_pgd) < 1e-5
+        final_dev = np.max(
+            np.abs(half.final_offsets_m() - full.final_offsets_m())
+        )
+        assert float(final_dev) < 1e-4
+
+    def test_noise_keeps_working_dtype(self, small_gf_bank, sample_rupture):
+        half = small_gf_bank.astype("float32")
+        synth = WaveformSynthesizer(half, noise=GnssNoiseModel())
+        a = synth.synthesize(sample_rupture, rng=np.random.default_rng(9))
+        b = synth.synthesize_batch(
+            [sample_rupture], rngs=[np.random.default_rng(9)]
+        )[0]
+        assert a.data.dtype == np.float32
+        assert np.array_equal(a.data, b.data)

@@ -175,3 +175,16 @@ class TestWfCommands:
         bad.write_text("{not valid json")
         assert main(["wf", "import", str(bad)]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+def test_run_local_gf_dtype_override(config_path, capsys):
+    assert main(["run", str(config_path), "--local", "--gf-dtype", "float32"]) == 0
+    out = capsys.readouterr().out
+    assert "local run: 16 waveform sets" in out
+
+
+def test_gf_dtype_choices_enforced(config_path):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(
+            ["run", str(config_path), "--gf-dtype", "float16"]
+        )

@@ -187,3 +187,27 @@ def test_bank_methods_require_cache(small_gf_bank):
     fed.store("p", 1.0, "a")
     with pytest.raises(StorageError):
         fed.fetch_bank("p", "a")
+
+
+def test_float32_bank_halves_charged_bytes_and_transfer(tmp_path, small_gf_bank):
+    fed = bank_federation(tmp_path)
+    size_full = fed.store_bank("gf_f64.npz", small_gf_bank, "origin")
+    size_half = fed.store_bank(
+        "gf_f32.npz", small_gf_bank.astype("float32"), "origin"
+    )
+    assert size_half == pytest.approx(0.5 * size_full)
+    assert fed.product_size_mb("gf_f32.npz") == pytest.approx(0.5 * size_full)
+    assert fed.bank_dtype("gf_f64.npz") == "float64"
+    assert fed.bank_dtype("gf_f32.npz") == "float32"
+    # The WAN transfer (cache=False keeps the placement untouched) is
+    # charged at half the seconds too — the Stash/OSDF saving.
+    t_full = fed.retrieval_time_s("gf_f64.npz", "home", cache=False)
+    t_half = fed.retrieval_time_s("gf_f32.npz", "home", cache=False)
+    assert t_half == pytest.approx(0.5 * t_full)
+
+
+def test_product_size_unknown_product(tmp_path, small_gf_bank):
+    fed = bank_federation(tmp_path)
+    with pytest.raises(StorageError):
+        fed.product_size_mb("nope")
+    assert fed.bank_dtype("nope") is None

@@ -20,6 +20,7 @@ in a home directory, edit a configuration file, and run a script
     python -m repro.cli wf import examples/fdw64_wfformat.json
     python -m repro.cli wf generate examples/fdw64_wfformat.json -n 500 -o gen.json
     python -m repro.cli wf replay gen.json --dagmans 4 --burst
+    python -m repro.cli chaos --seed 7               # seeded chaos campaign
 
 All subcommands print the monitoring/report output the paper's tooling
 produces and exit non-zero on failure.
@@ -165,6 +166,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_wfr.add_argument(
         "--trace-dir", type=Path, default=None,
         help="write each DAGMan's batch/jobs bursting CSVs here",
+    )
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run a seeded chaos campaign (corruption, flakes, transfer "
+        "faults, a site outage) and assert the archive is bit-identical "
+        "to a fault-free run",
+    )
+    p_chaos.add_argument("--seed", type=int, default=0, help="campaign seed")
+    p_chaos.add_argument(
+        "--workdir", type=Path, default=None,
+        help="campaign working directory (default: a temp dir, removed on "
+        "success; quarantined artifacts survive in a kept workdir)",
+    )
+    p_chaos.add_argument(
+        "--transfer-failure-prob", type=float, default=0.15,
+        help="per-attempt Stash transfer failure probability",
     )
 
     p_fig = sub.add_parser("figures", help="regenerate the paper-figure CSVs")
@@ -436,6 +454,23 @@ _WF_COMMANDS = {
 }
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.chaos import ChaosConfig, run_chaos_campaign
+
+    chaos = ChaosConfig(
+        seed=args.seed, transfer_failure_prob=args.transfer_failure_prob
+    )
+    if args.workdir is not None:
+        report = run_chaos_campaign(args.workdir, chaos=chaos)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+            report = run_chaos_campaign(Path(tmp) / "campaign", chaos=chaos)
+    print(report.summary())
+    return 0 if report.bit_identical else 1
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.core.figures import export_all_figures
 
@@ -453,6 +488,7 @@ _COMMANDS = {
     "burst": _cmd_burst,
     "dagfile": _cmd_dagfile,
     "wf": _cmd_wf,
+    "chaos": _cmd_chaos,
     "figures": _cmd_figures,
 }
 

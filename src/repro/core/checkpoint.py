@@ -16,10 +16,21 @@ Crash consistency comes from two rules:
   done, so a crash between the two merely re-executes one chunk on
   resume (idempotent — the rewrite replaces identical bytes).
 
+Integrity (PR 8): the manifest and every chunk file carry a sha256
+sidecar (:mod:`repro.integrity`) written with the same atomicity.
+Resume verifies before trusting: a tampered/truncated manifest is
+quarantined into ``<archive_dir>/_quarantine/`` and the run starts
+fresh; a damaged chunk file is quarantined and its chunk silently
+re-executed (:meth:`RunCheckpoint.try_load_a_chunk` /
+:meth:`~RunCheckpoint.try_load_c_chunk`) — corruption degrades to
+recompute, never a wrong archive.
+
 Layout under ``<archive_dir>/_checkpoint/``::
 
     manifest.json       # version, config digest, chunk counts, done sets
+    manifest.json.sha256
     A_00000.pkl         # pickled rupture list of one Phase-A chunk
+    A_00000.pkl.sha256
     C_00000.pkl         # (rupture_id, pgd, mw, filename) rows of one C chunk
     waveforms/<id>.npz  # per-rupture waveform products of done C chunks
 
@@ -36,8 +47,14 @@ import pickle
 import shutil
 from pathlib import Path
 
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, IntegrityError
 from repro.core.config import FdwConfig
+from repro.integrity import (
+    quarantine_artifact,
+    read_verified,
+    sha256_bytes,
+    write_digest,
+)
 from repro.seismo.mudpy_io import ProductArchive
 from repro.seismo.ruptures import Rupture
 
@@ -91,6 +108,7 @@ class RunCheckpoint:
     """
 
     DIRNAME = "_checkpoint"
+    QUARANTINE_DIRNAME = "_quarantine"
     VERSION = 1
 
     def __init__(
@@ -105,24 +123,51 @@ class RunCheckpoint:
         self.dir = self.archive_dir / self.DIRNAME
         self.manifest_path = self.dir / "manifest.json"
         self.waveforms_dir = self.dir / "waveforms"
+        self.quarantine_dir = self.archive_dir / self.QUARANTINE_DIRNAME
         self.digest = config_digest(config)
         self.n_chunks = {"A": n_a_chunks, "C": n_c_chunks}
         self.done: dict[str, set[int]] = {"A": set(), "C": set()}
-        if resume and self.manifest_path.exists():
-            self._load()
-        else:
-            if self.dir.exists():
-                shutil.rmtree(self.dir)
-            self.waveforms_dir.mkdir(parents=True)
-            self._flush()
+        #: Paths of quarantined checkpoint artifacts, in order.
+        self.quarantined: list[Path] = []
+        if resume and self.manifest_path.exists() and self._try_load():
+            return
+        if self.dir.exists():
+            shutil.rmtree(self.dir)
+        self.waveforms_dir.mkdir(parents=True)
+        self._flush()
 
     # -- manifest ----------------------------------------------------------
 
-    def _load(self) -> None:
+    def _quarantine(self, path: Path, reason: str) -> None:
+        self.quarantined.append(
+            quarantine_artifact(
+                path, quarantine_dir=self.quarantine_dir, reason=reason
+            )
+        )
+
+    def _try_load(self) -> bool:
+        """Verified manifest load for a resume.
+
+        Returns ``False`` — after quarantining the damaged manifest —
+        when the manifest fails its digest check or is unparseable, so
+        the resume degrades to a fresh run instead of crashing. A
+        *valid* manifest that belongs to a different configuration or
+        chunk plan still raises :class:`CheckpointError`: that is a
+        user mistake, not corruption.
+        """
         try:
-            manifest = json.loads(self.manifest_path.read_text())
-        except (OSError, json.JSONDecodeError) as exc:
-            raise CheckpointError(f"unreadable checkpoint manifest: {exc}") from exc
+            manifest = json.loads(
+                read_verified(self.manifest_path).decode("utf-8")
+            )
+        except (IntegrityError, ValueError) as exc:
+            self._quarantine(
+                self.manifest_path, f"unreadable checkpoint manifest: {exc}"
+            )
+            return False
+        self._validate(manifest)
+        return True
+
+    def _validate(self, manifest: dict) -> None:
         if manifest.get("version") != self.VERSION:
             raise CheckpointError(
                 f"checkpoint version {manifest.get('version')} != {self.VERSION}"
@@ -145,6 +190,11 @@ class RunCheckpoint:
             self.done[phase] = done
         self.waveforms_dir.mkdir(parents=True, exist_ok=True)
 
+    def _write_artifact(self, path: Path, data: bytes) -> None:
+        """Atomic write plus the sha256 sidecar resume will verify."""
+        atomic_write_bytes(path, data)
+        write_digest(path, sha256_bytes(data))
+
     def _flush(self) -> None:
         manifest = {
             "version": self.VERSION,
@@ -154,7 +204,7 @@ class RunCheckpoint:
             "done_a": sorted(self.done["A"]),
             "done_c": sorted(self.done["C"]),
         }
-        atomic_write_bytes(
+        self._write_artifact(
             self.manifest_path,
             json.dumps(manifest, indent=2, sort_keys=True).encode(),
         )
@@ -176,18 +226,49 @@ class RunCheckpoint:
 
     def store_a_chunk(self, index: int, ruptures: list[Rupture]) -> None:
         """Persist one Phase-A chunk, then mark it done."""
-        atomic_write_bytes(
+        self._write_artifact(
             self._chunk_path("A", index),
             pickle.dumps(ruptures, protocol=pickle.HIGHEST_PROTOCOL),
         )
         self.done["A"].add(index)
         self._flush()
 
+    def _read_chunk(self, phase: str, index: int) -> object:
+        """Digest-verified unpickle of one chunk file.
+
+        Every corruption mode — sidecar mismatch, truncation, a pickle
+        stream that no longer parses — surfaces as one typed
+        :class:`~repro.errors.IntegrityError`.
+        """
+        path = self._chunk_path(phase, index)
+        data = read_verified(path)
+        try:
+            return pickle.loads(data)
+        except Exception as exc:  # pickle's failure surface is open-ended
+            raise IntegrityError(
+                f"corrupt checkpoint chunk {path.name}: {exc}"
+            ) from exc
+
+    def _discard_chunk(self, phase: str, index: int, exc: IntegrityError) -> None:
+        """Quarantine a damaged chunk and un-mark it done (→ re-execute)."""
+        self._quarantine(self._chunk_path(phase, index), str(exc))
+        self.done[phase].discard(index)
+        self._flush()
+
     def load_a_chunk(self, index: int) -> list[Rupture]:
-        """Reload one completed Phase-A chunk."""
+        """Reload one completed Phase-A chunk (digest-verified)."""
         if not self.is_done("A", index):
             raise CheckpointError(f"A chunk {index} is not checkpointed")
-        return pickle.loads(self._chunk_path("A", index).read_bytes())
+        return self._read_chunk("A", index)  # type: ignore[return-value]
+
+    def try_load_a_chunk(self, index: int) -> list[Rupture] | None:
+        """Degraded-mode reload: ``None`` (after quarantining, with the
+        chunk un-marked done) when the checkpointed chunk is corrupt."""
+        try:
+            return self.load_a_chunk(index)
+        except IntegrityError as exc:
+            self._discard_chunk("A", index, exc)
+            return None
 
     # -- Phase C -----------------------------------------------------------
 
@@ -203,7 +284,7 @@ class RunCheckpoint:
             (rid, pgd, mw, Path(path).name if path is not None else None)
             for rid, pgd, mw, path in rows
         ]
-        atomic_write_bytes(
+        self._write_artifact(
             self._chunk_path("C", index),
             pickle.dumps(normalized, protocol=pickle.HIGHEST_PROTOCOL),
         )
@@ -214,9 +295,9 @@ class RunCheckpoint:
         """Reload one completed Phase-C chunk (absolute waveform paths)."""
         if not self.is_done("C", index):
             raise CheckpointError(f"C chunk {index} is not checkpointed")
-        rows = pickle.loads(self._chunk_path("C", index).read_bytes())
+        rows = self._read_chunk("C", index)
         out: list[CRow] = []
-        for rid, pgd, mw, name in rows:
+        for rid, pgd, mw, name in rows:  # type: ignore[union-attr]
             path = str(self.waveforms_dir / name) if name is not None else None
             if path is not None and not Path(path).exists():
                 raise CheckpointError(
@@ -224,6 +305,15 @@ class RunCheckpoint:
                 )
             out.append((rid, pgd, mw, path))
         return out
+
+    def try_load_c_chunk(self, index: int) -> list[CRow] | None:
+        """Degraded-mode reload of a Phase-C chunk (see
+        :meth:`try_load_a_chunk`)."""
+        try:
+            return self.load_c_chunk(index)
+        except IntegrityError as exc:
+            self._discard_chunk("C", index, exc)
+            return None
 
     # -- archive assembly --------------------------------------------------
 

@@ -29,7 +29,9 @@ this one implementation.
 from __future__ import annotations
 
 import hashlib
+import io
 import os
+import zipfile
 from collections import OrderedDict
 from collections.abc import Callable
 from dataclasses import dataclass, field
@@ -38,7 +40,13 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.errors import CacheError
+from repro.errors import CacheError, IntegrityError, ReproError
+from repro.integrity import (
+    quarantine_artifact,
+    read_verified,
+    sha256_bytes,
+    write_digest,
+)
 from repro.seismo.geometry import FaultGeometry
 from repro.seismo.greens import (
     DEFAULT_RAKE_DEG,
@@ -117,6 +125,10 @@ class GFCacheStats:
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    #: Disk entries that failed digest verification or parsing and were
+    #: quarantined (each such lookup also counts as a miss — the
+    #: degraded-mode contract: corruption becomes a recompute).
+    integrity_failures: int = 0
 
     @property
     def hits(self) -> int:
@@ -142,12 +154,21 @@ class GFCache:
     max_memory_entries:
         LRU capacity. Banks evicted from memory survive on disk when a
         ``cache_dir`` is configured.
+    verify_digests:
+        Verify each disk entry's sha256 sidecar on load (default). A
+        failed check — or an entry that cannot be parsed at all — is
+        quarantined (moved into ``cache_dir/quarantine/``, never
+        deleted) and treated as a miss, so corruption degrades to a
+        recompute. ``False`` skips only the hash comparison (the
+        ``bench-resilience`` baseline arm); parse failures still
+        quarantine.
     """
 
     def __init__(
         self,
         cache_dir: str | Path | None = None,
         max_memory_entries: int = 8,
+        verify_digests: bool = True,
     ) -> None:
         if max_memory_entries < 1:
             raise CacheError(
@@ -158,8 +179,11 @@ class GFCache:
             cache_dir = env or None
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.max_memory_entries = int(max_memory_entries)
+        self.verify_digests = bool(verify_digests)
         self._memory: OrderedDict[str, GreensFunctionBank] = OrderedDict()
         self.stats = GFCacheStats()
+        #: Paths of quarantined artifacts, in quarantine order.
+        self.quarantined: list[Path] = []
 
     # -- paths ---------------------------------------------------------------
 
@@ -172,7 +196,14 @@ class GFCache:
     # -- primitive get/put ---------------------------------------------------
 
     def get(self, key: str) -> GreensFunctionBank | None:
-        """Look a key up (memory first, then disk); ``None`` on miss."""
+        """Look a key up (memory first, then disk); ``None`` on miss.
+
+        A disk entry that fails its digest check or cannot be parsed
+        (truncated/bit-flipped ``.npz``) is quarantined and reported as
+        a miss — the caller recomputes and re-stores, so a corrupted
+        cache entry never surfaces as a wrong answer or a raw
+        ``zipfile.BadZipFile``.
+        """
         bank = self._memory.get(key)
         if bank is not None:
             self._memory.move_to_end(key)
@@ -180,12 +211,40 @@ class GFCache:
             return bank
         path = self.disk_path(key)
         if path is not None and path.exists():
-            bank = GreensFunctionBank.load(path)
-            self._remember(key, bank)
-            self.stats.disk_hits += 1
-            return bank
+            try:
+                bank = self._load_disk(path)
+            except IntegrityError as exc:
+                self._quarantine(path, exc)
+            else:
+                self._remember(key, bank)
+                self.stats.disk_hits += 1
+                return bank
         self.stats.misses += 1
         return None
+
+    def _load_disk(self, path: Path) -> GreensFunctionBank:
+        """Digest-verified parse of one disk entry.
+
+        Every failure mode — sidecar mismatch, zip/npz damage, missing
+        arrays, values the bank validation rejects — surfaces as one
+        typed :class:`~repro.errors.IntegrityError`.
+        """
+        data = read_verified(path, verify=self.verify_digests)
+        try:
+            with np.load(io.BytesIO(data), allow_pickle=False) as npz:
+                return GreensFunctionBank(
+                    statics=npz["statics"],
+                    travel_time_s=npz["travel_time_s"],
+                    station_names=tuple(str(n) for n in npz["station_names"]),
+                    fault_name=str(npz["fault_name"]),
+                )
+        except (zipfile.BadZipFile, ValueError, KeyError, EOFError, OSError,
+                ReproError) as exc:
+            raise IntegrityError(f"corrupt GF bank {path.name}: {exc}") from exc
+
+    def _quarantine(self, path: Path, exc: IntegrityError) -> None:
+        self.stats.integrity_failures += 1
+        self.quarantined.append(quarantine_artifact(path, reason=str(exc)))
 
     def put(self, key: str, bank: GreensFunctionBank) -> None:
         """Insert a bank under a key in both levels."""
@@ -221,7 +280,9 @@ class GFCache:
         tmp = path.with_suffix(".tmp.npz")
         try:
             bank.save(tmp)
+            digest = sha256_bytes(tmp.read_bytes())
             os.replace(tmp, path)  # atomic against concurrent readers
+            write_digest(path, digest)
         except OSError as exc:
             raise CacheError(
                 f"cannot write GF bank to cache_dir {self.cache_dir}: {exc}"
@@ -289,10 +350,16 @@ class GFCache:
     # -- maintenance ---------------------------------------------------------
 
     def clear(self, disk: bool = False) -> None:
-        """Drop the memory level; with ``disk=True`` also the disk store."""
+        """Drop the memory level; with ``disk=True`` also the disk store.
+
+        Digest sidecars go with their artifacts; the quarantine
+        directory is never touched (evidence outlives cache resets).
+        """
         self._memory.clear()
         if disk and self.cache_dir is not None and self.cache_dir.exists():
             for path in self.cache_dir.glob("gf_*.npz"):
+                path.unlink()
+            for path in self.cache_dir.glob("gf_*.npz.sha256"):
                 path.unlink()
 
     def memory_keys(self) -> list[str]:

@@ -34,6 +34,7 @@ from multiprocessing import resource_tracker
 from pathlib import Path
 
 from repro.errors import ConfigError
+from repro.resilience import RetryPolicy, retry_call
 from repro.core.checkpoint import RunCheckpoint
 from repro.core.config import FdwConfig
 from repro.core.gfcache import (
@@ -71,6 +72,10 @@ class LocalRunResult:
     pgd_by_rupture: dict[str, float] = field(default_factory=dict)
     chunks_executed: dict[str, int] = field(default_factory=dict)
     chunks_skipped: dict[str, int] = field(default_factory=dict)
+    #: Chunk re-attempts absorbed by the retry wrapper, per phase.
+    chunk_retries: dict[str, int] = field(default_factory=dict)
+    #: Deterministic backoff seconds those retries accounted (not slept).
+    retry_backoff_s: float = 0.0
 
     @property
     def total_seconds(self) -> float:
@@ -234,12 +239,17 @@ class LocalRunner:
         n_workers: int = 1,
         gf_cache: GFCache | None = None,
         kl_cache: KLCache | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if n_workers < 1:
             raise ConfigError(f"n_workers must be >= 1, got {n_workers}")
         self.n_workers = n_workers
         self.gf_cache = gf_cache if gf_cache is not None else GFCache()
         self.kl_cache = kl_cache if kl_cache is not None else KLCache()
+        #: Backoff applied to retryable chunk failures (injected flakes);
+        #: schedules derive from the run config's seed, so they are as
+        #: reproducible as the catalog itself.
+        self.retry_policy = retry_policy or RetryPolicy()
         self._published: dict[str, SharedBankHandle] = {}
         self._state: dict = {"pool": None, "segments": []}
         self._finalizer = weakref.finalize(self, _release_state, self._state)
@@ -298,7 +308,14 @@ class LocalRunner:
         uninterrupted run's. ``faults`` takes a
         :class:`~repro.faults.FaultPlan` whose ``chunk_completed`` hook
         is called after each executed (and checkpointed) chunk — the
-        crash-injection point for recovery tests.
+        crash-injection point for recovery tests — and whose
+        ``chunk_attempt`` hook fires before each attempt: retryable
+        :class:`~repro.faults.TransientFault` flakes are absorbed by
+        the runner's :attr:`retry_policy` (re-executing just the flaked
+        chunk, with seed-derived backoff accounted in the result), so a
+        flaky run's archive is byte-identical to a clean run's. A
+        checkpointed chunk that fails its integrity check on resume is
+        quarantined and transparently re-executed.
         """
         if (checkpoint or resume) and archive_dir is None:
             raise ConfigError("checkpoint/resume requires an archive_dir")
@@ -329,12 +346,45 @@ class LocalRunner:
         fq.phase_a_distances()
         timings["dist"] = time.perf_counter() - t0
 
+        retries = {"A": 0, "C": 0}
+        backoff_s = [0.0]
+        attempt_hook = (
+            getattr(faults, "chunk_attempt", None) if faults is not None else None
+        )
+
+        def attempted(phase, index, fn, resubmit=None):
+            """One chunk's execution, retry-wrapped when a fault plan
+            can inject flakes. Without a plan the call is direct — the
+            legacy path stays byte-for-byte untouched."""
+            if attempt_hook is None:
+                return fn()
+
+            def once():
+                attempt_hook(phase, index)
+                return fn()
+
+            def on_retry(_attempt, _exc, delay):
+                retries[phase] += 1
+                backoff_s[0] += delay
+                if resubmit is not None:
+                    resubmit()
+
+            outcome = retry_call(
+                once,
+                policy=self.retry_policy,
+                seed=config.seed,
+                keys=("chunk", phase, index),
+                on_retry=on_retry,
+            )
+            return outcome.value
+
         t0 = time.perf_counter()
         chunks_a: list[list[Rupture]] = [[] for _ in a_chunks]
         pending_a: list[int] = []
         for i in range(len(a_chunks)):
-            if ckpt is not None and ckpt.is_done("A", i):
-                chunks_a[i] = ckpt.load_a_chunk(i)
+            chunk = ckpt.try_load_a_chunk(i) if ckpt is not None and ckpt.is_done("A", i) else None
+            if chunk is not None:
+                chunks_a[i] = chunk
                 skipped["A"] += 1
             else:
                 pending_a.append(i)
@@ -350,7 +400,12 @@ class LocalRunner:
         if self.n_workers == 1 or len(pending_a) <= 1:
             for i in pending_a:
                 start, count = a_chunks[i]
-                a_done(i, fq.phase_a_ruptures(start, count))
+                a_done(
+                    i,
+                    attempted(
+                        "A", i, lambda s=start, c=count: fq.phase_a_ruptures(s, c)
+                    ),
+                )
         else:
             # Pooled Phase-A fan-out: per-index RNG keying makes chunks
             # process-independent, so the catalog is bit-identical to
@@ -362,11 +417,30 @@ class LocalRunner:
                 if self.kl_cache.cache_dir is not None
                 else None
             )
-            a_tasks: list[_AChunkTask] = [
-                (fq.params, *a_chunks[i], kl_dir) for i in pending_a
-            ]
-            for i, chunk in zip(pending_a, pool.map(_run_a_chunk, a_tasks)):
-                a_done(i, chunk)
+            a_tasks: dict[int, _AChunkTask] = {
+                i: (fq.params, *a_chunks[i], kl_dir) for i in pending_a
+            }
+            if attempt_hook is None:
+                for i, chunk in zip(
+                    pending_a, pool.map(_run_a_chunk, list(a_tasks.values()))
+                ):
+                    a_done(i, chunk)
+            else:
+                # Per-chunk futures so a flaked chunk can be resubmitted
+                # alone while the rest of the fan-out keeps running.
+                a_futs = {i: pool.submit(_run_a_chunk, a_tasks[i]) for i in pending_a}
+                for i in pending_a:
+                    a_done(
+                        i,
+                        attempted(
+                            "A",
+                            i,
+                            lambda i=i: a_futs[i].result(),
+                            resubmit=lambda i=i: a_futs.__setitem__(
+                                i, pool.submit(_run_a_chunk, a_tasks[i])
+                            ),
+                        ),
+                    )
         ruptures: list[Rupture] = [r for chunk in chunks_a for r in chunk]
         timings["A"] = time.perf_counter() - t0
 
@@ -380,8 +454,9 @@ class LocalRunner:
         ]
         pending_c: list[int] = []
         for i in range(len(c_chunks)):
-            if ckpt is not None and ckpt.is_done("C", i):
-                rows_by_chunk[i] = ckpt.load_c_chunk(i)
+            c_rows = ckpt.try_load_c_chunk(i) if ckpt is not None and ckpt.is_done("C", i) else None
+            if c_rows is not None:
+                rows_by_chunk[i] = c_rows
                 skipped["C"] += 1
             else:
                 pending_c.append(i)
@@ -395,8 +470,8 @@ class LocalRunner:
                 faults.chunk_completed("C")
 
         if self.n_workers == 1:
-            for i in pending_c:
-                start, count = c_chunks[i]
+
+            def run_c_chunk(start: int, count: int) -> list[tuple[str, float, float, "str | None"]]:
                 sets = fq.phase_c_waveforms(ruptures[start : start + count])
                 rows: list[tuple[str, float, float, "str | None"]] = []
                 for ws in sets:
@@ -422,7 +497,16 @@ class LocalRunner:
                             path,
                         )
                     )
-                c_done(i, rows)
+                return rows
+
+            for i in pending_c:
+                start, count = c_chunks[i]
+                c_done(
+                    i,
+                    attempted(
+                        "C", i, lambda s=start, c=count: run_c_chunk(s, c)
+                    ),
+                )
         else:
             key = gf_bank_key(
                 fq.geometry,
@@ -437,17 +521,40 @@ class LocalRunner:
             elif archive is not None:
                 spool = archive.root / "_spool"
                 spool.mkdir(parents=True, exist_ok=True)
-            tasks: list[_ChunkTask] = [
-                (
+            c_tasks: dict[int, _ChunkTask] = {
+                i: (
                     handle,
                     fq.params,
-                    ruptures[start : start + count],
+                    ruptures[c_chunks[i][0] : c_chunks[i][0] + c_chunks[i][1]],
                     str(spool) if spool is not None else None,
                 )
-                for start, count in (c_chunks[i] for i in pending_c)
-            ]
+                for i in pending_c
+            }
             pool = self._ensure_pool()
-            for i, chunk_rows in zip(pending_c, pool.map(_synthesize_chunk_shared, tasks)):
+            if attempt_hook is None:
+                chunk_results = zip(
+                    pending_c, pool.map(_synthesize_chunk_shared, list(c_tasks.values()))
+                )
+            else:
+                c_futs = {
+                    i: pool.submit(_synthesize_chunk_shared, c_tasks[i])
+                    for i in pending_c
+                }
+                chunk_results = (
+                    (
+                        i,
+                        attempted(
+                            "C",
+                            i,
+                            lambda i=i: c_futs[i].result(),
+                            resubmit=lambda i=i: c_futs.__setitem__(
+                                i, pool.submit(_synthesize_chunk_shared, c_tasks[i])
+                            ),
+                        ),
+                    )
+                    for i in pending_c
+                )
+            for i, chunk_rows in chunk_results:
                 if archive is not None:
                     for rupture_id, pgd_max, target_mw, path in chunk_rows:
                         if path is not None:
@@ -513,6 +620,8 @@ class LocalRunner:
             pgd_by_rupture=pgd,
             chunks_executed=dict(executed),
             chunks_skipped=dict(skipped),
+            chunk_retries=dict(retries),
+            retry_backoff_s=backoff_s[0],
         )
 
 

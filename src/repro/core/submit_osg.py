@@ -76,6 +76,7 @@ def run_fdw_batch(
     seed: int = 0,
     stagger_s: float = 0.0,
     rescue_dir: str | Path | None = None,
+    transfer_faults: "object | None" = None,
 ) -> FdwBatchResult:
     """Run FDW configuration(s) as concurrent DAGMans on a fresh pool.
 
@@ -97,6 +98,10 @@ def run_fdw_batch(
         that dies (see :mod:`repro.condor.rescue`); the written paths
         come back in :attr:`FdwBatchResult.rescue_files` for a
         follow-up ``recover`` run.
+    transfer_faults:
+        Optional :class:`~repro.faults.TransferFaults` chaos model on
+        the pool's Stash delivery path (see
+        :class:`~repro.osg.transfer.StashCache`).
     """
     if isinstance(configs, FdwConfig):
         configs = [configs]
@@ -109,7 +114,11 @@ def run_fdw_batch(
         raise SimulationError(f"stagger_s must be >= 0, got {stagger_s}")
 
     pool = OSPoolSimulator(
-        config=pool_config, capacity=capacity, seed=seed, rescue_dir=rescue_dir
+        config=pool_config,
+        capacity=capacity,
+        seed=seed,
+        rescue_dir=rescue_dir,
+        transfer_faults=transfer_faults,
     )
     for i, config in enumerate(configs):
         dag = build_fdw_dag(config)

@@ -3,6 +3,14 @@
 Every error raised by the library derives from :class:`ReproError` so that
 callers can catch library failures with a single ``except`` clause while
 still distinguishing subsystem-specific failures when they need to.
+
+Each error class carries a :attr:`ReproError.retryable` flag that the
+resilience layer (:mod:`repro.resilience`) consults: transient
+infrastructure faults (a flaky transfer, a corrupted cache entry that a
+quarantine-and-rebuild will heal, a site mid-outage) are worth a backed-off
+retry, while programming and configuration errors are not — retrying a
+malformed DAG or a bad mesh only wastes the budget. The default is
+``False``; only faults whose *re-attempt can plausibly succeed* opt in.
 """
 
 from __future__ import annotations
@@ -18,23 +26,39 @@ __all__ = [
     "ArchiveError",
     "CacheError",
     "CheckpointError",
+    "IntegrityError",
     "SubmitError",
     "DagError",
     "JobStateError",
     "LogParseError",
     "SimulationError",
     "CapacityError",
+    "TransferError",
     "TraceError",
     "PolicyError",
     "WfFormatError",
     "CatalogError",
     "StorageError",
+    "StorageUnavailableError",
+    "CircuitOpenError",
     "PortalError",
 ]
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by :mod:`repro`."""
+    """Base class for all errors raised by :mod:`repro`.
+
+    Attributes
+    ----------
+    retryable:
+        Class-level flag: ``True`` when a backed-off re-attempt of the
+        failed operation can plausibly succeed (transient infrastructure
+        faults), ``False`` for programming/configuration errors where a
+        retry would just repeat the failure. Consulted by
+        :func:`repro.resilience.retry_call`.
+    """
+
+    retryable: bool = False
 
 
 class ConfigError(ReproError):
@@ -76,6 +100,18 @@ class CheckpointError(ReproError):
     """A local-run checkpoint manifest is missing, stale, or corrupt."""
 
 
+class IntegrityError(ReproError):
+    """An on-disk artifact failed its content-digest check (corruption,
+    truncation, or an unparseable payload).
+
+    Retryable: the degraded-mode contract quarantines the damaged copy
+    and rebuilds from source, so a re-attempt of the load/fetch is
+    expected to succeed.
+    """
+
+    retryable = True
+
+
 # --- condor ---------------------------------------------------------------
 
 
@@ -106,6 +142,17 @@ class CapacityError(ReproError):
     """A capacity process was configured with invalid parameters."""
 
 
+class TransferError(ReproError):
+    """A (simulated) file transfer failed in flight.
+
+    Retryable: transfer failures on a federated substrate are routinely
+    transient — the next attempt lands at a different cache site or
+    after the glitch has passed.
+    """
+
+    retryable = True
+
+
 # --- bursting -------------------------------------------------------------
 
 
@@ -133,6 +180,30 @@ class CatalogError(ReproError):
 
 class StorageError(ReproError):
     """A federated storage operation failed."""
+
+
+class StorageUnavailableError(StorageError):
+    """No healthy replica of a product can currently serve a retrieval
+    (site outages and/or open circuit breakers on every holder).
+
+    Retryable: outages end and breakers half-open; a later attempt may
+    find a recovered replica. Callers with the product's inputs should
+    prefer the rebuild-from-source fallback instead of waiting.
+    """
+
+    retryable = True
+
+
+class CircuitOpenError(StorageError):
+    """A per-site circuit breaker is open and rejected the call fast.
+
+    *Not* retryable by the backoff wrapper: the whole point of the
+    breaker is to fail fast instead of hammering a dead site — recovery
+    happens through the breaker's own half-open probing, not through
+    caller-side retries.
+    """
+
+    retryable = False
 
 
 class PortalError(ReproError):

@@ -172,6 +172,9 @@ class OSPoolSimulator:
         metrics, logs, and rescue files (asserted by the equivalence
         tests); the reference engine is kept as the oracle and as the
         ``bench-des-scale`` baseline.
+    transfer_faults:
+        Optional :class:`~repro.faults.TransferFaults` chaos model for
+        the Stash delivery path; see :class:`~repro.osg.transfer.StashCache`.
     """
 
     def __init__(
@@ -181,6 +184,7 @@ class OSPoolSimulator:
         seed: int = 0,
         rescue_dir: str | Path | None = None,
         engine: str = "vector",
+        transfer_faults: "object | None" = None,
     ) -> None:
         if engine not in ("vector", "reference"):
             raise SimulationError(
@@ -197,7 +201,14 @@ class OSPoolSimulator:
         self._rng_transfer = self.rngs.generator("transfer")
         self._rng_failure = self.rngs.generator("failure")
         self.sim = Simulator()
-        self.cache = StashCache(self.config.transfer)
+        # transfer_faults takes a repro.faults.TransferFaults model
+        # (chaos injection); None keeps the delivery path — and every
+        # RNG stream — bit-identical to the fault-free simulator.
+        self.cache = StashCache(
+            self.config.transfer,
+            faults=transfer_faults,  # type: ignore[arg-type]
+            retry_seed=seed,
+        )
         self._dagmans: dict[str, DagmanRun] = {}
         # Reference engine: (start, run, node, job, completion handle)
         # tuples, rebuilt on every completion. Vector engine: token ->

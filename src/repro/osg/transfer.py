@@ -11,17 +11,31 @@ random site, and the cache state is per (file, site). Transfer time is
 ``size / bandwidth`` plus a fixed per-job setup overhead (scheduling,
 container start). The resulting cold-start ramp is visible in DAGMan
 instant-throughput traces and is ablated by ``bench_ablation_cache``.
+
+Resilience (PR 8): a cache built with a
+:class:`~repro.faults.TransferFaults` model retries failed attempts
+under a seeded :class:`~repro.resilience.RetryPolicy` — each failed
+attempt costs its elapsed time plus a deterministic backoff delay, and
+a job that exhausts its retries degrades to pulling everything straight
+from the origin (slow, but the workflow always completes). Without a
+fault model the delivery path is bit-identical to the pre-resilience
+simulator.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import SimulationError
 from repro.condor.jobs import JobSpec
+from repro.resilience import RetryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults import TransferFaults
 
 __all__ = ["TransferConfig", "StashCache", "SINGULARITY_IMAGE_MB"]
 
@@ -77,10 +91,35 @@ class TransferConfig:
 
 
 class StashCache:
-    """Stateful cache: tracks which files are warm at which sites."""
+    """Stateful cache: tracks which files are warm at which sites.
 
-    def __init__(self, config: TransferConfig | None = None) -> None:
+    Parameters
+    ----------
+    config:
+        Bandwidths/overheads of the delivery path.
+    faults:
+        Optional :class:`~repro.faults.TransferFaults` model. ``None``
+        (default) keeps the delivery path bit-identical to the
+        fault-free simulator — no extra RNG draws, no retry loop.
+    retry_policy:
+        Backoff applied when an injected fault fails an attempt;
+        default :class:`~repro.resilience.RetryPolicy`.
+    retry_seed:
+        Root of the deterministic per-job backoff schedules
+        (``schedule(retry_seed, "transfer", job_name)``).
+    """
+
+    def __init__(
+        self,
+        config: TransferConfig | None = None,
+        faults: "TransferFaults | None" = None,
+        retry_policy: RetryPolicy | None = None,
+        retry_seed: int = 0,
+    ) -> None:
         self.config = config or TransferConfig()
+        self.faults = faults
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.retry_seed = retry_seed
         # Per-site LRU ordering: oldest entry first. Without a
         # max_entries_per_site cap nothing is ever evicted and the dicts
         # behave exactly like the former (file, site) membership set.
@@ -88,7 +127,11 @@ class StashCache:
         self.n_cold_transfers = 0
         self.n_warm_transfers = 0
         self.n_evictions = 0
+        self.n_transfer_faults = 0
+        self.n_transfer_retries = 0
+        self.n_degraded_transfers = 0
         self.total_transfer_seconds = 0.0
+        self.total_backoff_seconds = 0.0
 
     def reset(self) -> None:
         """Drop all cache state (a fresh campaign)."""
@@ -96,24 +139,29 @@ class StashCache:
         self.n_cold_transfers = 0
         self.n_warm_transfers = 0
         self.n_evictions = 0
+        self.n_transfer_faults = 0
+        self.n_transfer_retries = 0
+        self.n_degraded_transfers = 0
         self.total_transfer_seconds = 0.0
+        self.total_backoff_seconds = 0.0
+        if self.faults is not None:
+            self.faults.reset()
 
     def is_warm(self, filename: str, site: int) -> bool:
         """True when ``filename`` is cached at ``site``."""
         return filename in self._warm.get(site, ())
 
-    def transfer_time(self, spec: JobSpec, rng: np.random.Generator) -> float:
-        """Seconds to stage all of a job's inputs at a random site.
-
-        Marks each delivered file warm at the chosen site, so later jobs
-        landing there hit the cache.
-        """
-        cfg = self.config
-        site = int(rng.integers(cfg.n_cache_sites))
-        total = cfg.setup_overhead_s
+    def _job_files(self, spec: JobSpec) -> dict[str, float]:
         files = dict(spec.input_files)
-        if cfg.include_image:
+        if self.config.include_image:
             files.setdefault("singularity.sif", SINGULARITY_IMAGE_MB)
+        return files
+
+    def _stage_at(self, files: dict[str, float], site: int) -> float:
+        """Stage a file set at one site; returns elapsed seconds
+        (including the setup overhead) and marks the files warm."""
+        cfg = self.config
+        total = cfg.setup_overhead_s
         site_cache = self._warm.setdefault(site, OrderedDict())
         for filename, size_mb in files.items():
             if size_mb < 0:
@@ -137,3 +185,40 @@ class StashCache:
         # transfer and would dilute cache-efficiency accounting.
         self.total_transfer_seconds += total - cfg.setup_overhead_s
         return total
+
+    def transfer_time(self, spec: JobSpec, rng: np.random.Generator) -> float:
+        """Seconds to stage all of a job's inputs at a random site.
+
+        Marks each delivered file warm at the chosen site, so later jobs
+        landing there hit the cache. With a fault model installed, a
+        failed attempt still costs its (possibly slowed) elapsed time,
+        then the job backs off per its deterministic retry schedule and
+        re-pulls at the *same* site (the job is pinned to its execute
+        point; the re-pull is mostly warm). A job whose retries are all
+        doomed falls back to a direct origin pull.
+        """
+        cfg = self.config
+        site = int(rng.integers(cfg.n_cache_sites))
+        files = self._job_files(spec)
+        if self.faults is None:
+            return self._stage_at(files, site)
+        total = 0.0
+        delays = self.retry_policy.schedule(self.retry_seed, "transfer", spec.name)
+        for attempt in range(self.retry_policy.max_attempts):
+            elapsed = self._stage_at(files, site)
+            fails, slow = self.faults.draw()
+            # The multiplier degrades bandwidth, not the fixed setup.
+            total += cfg.setup_overhead_s + (elapsed - cfg.setup_overhead_s) * slow
+            if not fails:
+                return total
+            self.n_transfer_faults += 1
+            if attempt < len(delays):
+                self.n_transfer_retries += 1
+                total += delays[attempt]
+                self.total_backoff_seconds += delays[attempt]
+        # Retries exhausted: the job pulls everything straight from the
+        # origin, bypassing the cache path. Expensive but always lands.
+        self.n_degraded_transfers += 1
+        direct = sum(files.values()) / cfg.origin_mb_per_s
+        self.total_transfer_seconds += direct
+        return total + cfg.setup_overhead_s + direct

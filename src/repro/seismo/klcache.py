@@ -37,14 +37,22 @@ cold-path ruptures bit-for-bit.
 from __future__ import annotations
 
 import hashlib
+import io
 import os
+import zipfile
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
-from repro.errors import CacheError
+from repro.errors import CacheError, IntegrityError, ReproError
+from repro.integrity import (
+    quarantine_artifact,
+    read_verified,
+    sha256_bytes,
+    write_digest,
+)
 from repro.seismo.distance import DistanceMatrices
 from repro.seismo.spectra import KarhunenLoeveBasis, von_karman_correlation
 
@@ -91,6 +99,9 @@ class KLCacheStats:
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    #: Disk entries that failed digest verification or parsing and were
+    #: quarantined (each such lookup also counts as a miss).
+    integrity_failures: int = 0
 
     @property
     def hits(self) -> int:
@@ -126,6 +137,11 @@ class KLCache:
         share one basis. Use only for high-hit-rate catalog sweeps where
         slip-field perturbations at the quantization scale are
         acceptable.
+    verify_digests:
+        Verify each disk entry's sha256 sidecar on load (default); a
+        failed check or unparseable entry is quarantined into
+        ``cache_dir/quarantine/`` and treated as a miss, same contract
+        as :class:`repro.core.gfcache.GFCache`.
     """
 
     def __init__(
@@ -133,6 +149,7 @@ class KLCache:
         cache_dir: str | Path | None = None,
         max_memory_entries: int = 128,
         quantize_step_km: float | None = None,
+        verify_digests: bool = True,
     ) -> None:
         if max_memory_entries < 1:
             raise CacheError(
@@ -150,8 +167,11 @@ class KLCache:
         self.quantize_step_km = (
             float(quantize_step_km) if quantize_step_km is not None else None
         )
+        self.verify_digests = bool(verify_digests)
         self._memory: OrderedDict[str, KarhunenLoeveBasis] = OrderedDict()
         self.stats = KLCacheStats()
+        #: Paths of quarantined artifacts, in quarantine order.
+        self.quarantined: list[Path] = []
 
     # -- quantized mode -------------------------------------------------------
 
@@ -183,7 +203,13 @@ class KLCache:
     # -- primitive get/put ---------------------------------------------------
 
     def get(self, key: str) -> KarhunenLoeveBasis | None:
-        """Look a key up (memory first, then disk); ``None`` on miss."""
+        """Look a key up (memory first, then disk); ``None`` on miss.
+
+        A disk entry that fails its digest check or cannot be parsed is
+        quarantined and reported as a miss — corruption degrades to a
+        re-eigendecomposition, never a wrong basis or a raw
+        ``zipfile.BadZipFile``.
+        """
         basis = self._memory.get(key)
         if basis is not None:
             self._memory.move_to_end(key)
@@ -191,16 +217,34 @@ class KLCache:
             return basis
         path = self.disk_path(key)
         if path is not None and path.exists():
-            with np.load(path) as data:
-                basis = KarhunenLoeveBasis(
-                    eigenvalues=data["eigenvalues"],
-                    eigenvectors=data["eigenvectors"],
+            try:
+                basis = self._load_disk(path)
+            except IntegrityError as exc:
+                self.stats.integrity_failures += 1
+                self.quarantined.append(
+                    quarantine_artifact(path, reason=str(exc))
                 )
-            self._remember(key, basis)
-            self.stats.disk_hits += 1
-            return basis
+            else:
+                self._remember(key, basis)
+                self.stats.disk_hits += 1
+                return basis
         self.stats.misses += 1
         return None
+
+    def _load_disk(self, path: Path) -> KarhunenLoeveBasis:
+        """Digest-verified parse of one disk entry."""
+        data = read_verified(path, verify=self.verify_digests)
+        try:
+            with np.load(io.BytesIO(data), allow_pickle=False) as npz:
+                return KarhunenLoeveBasis(
+                    eigenvalues=npz["eigenvalues"],
+                    eigenvectors=npz["eigenvectors"],
+                )
+        except (zipfile.BadZipFile, ValueError, KeyError, EOFError, OSError,
+                ReproError) as exc:
+            raise IntegrityError(
+                f"corrupt K-L basis {path.name}: {exc}"
+            ) from exc
 
     def put(self, key: str, basis: KarhunenLoeveBasis) -> None:
         """Insert a basis under a key in both levels."""
@@ -217,7 +261,9 @@ class KLCache:
                     eigenvalues=basis.eigenvalues,
                     eigenvectors=basis.eigenvectors,
                 )
+                digest = sha256_bytes(tmp.read_bytes())
                 os.replace(tmp, path)  # atomic against concurrent readers
+                write_digest(path, digest)
             except OSError as exc:
                 raise CacheError(
                     f"cannot write K-L basis to cache_dir {self.cache_dir}: {exc}"
@@ -285,6 +331,8 @@ class KLCache:
         self._memory.clear()
         if disk and self.cache_dir is not None and self.cache_dir.exists():
             for path in self.cache_dir.glob("kl_*.npz"):
+                path.unlink()
+            for path in self.cache_dir.glob("kl_*.npz.sha256"):
                 path.unlink()
 
     def memory_keys(self) -> list[str]:

@@ -116,7 +116,9 @@ class PrefetchService:
 
     # -- action ------------------------------------------------------------------
 
-    def prefetch(self, home_site: str, top: int = 3) -> list[str]:
+    def prefetch(
+        self, home_site: str, top: int = 3, now: float | None = None
+    ) -> list[str]:
         """Replicate the predicted products to the site.
 
         Products that do not fit (site capacity) are skipped, not
@@ -125,7 +127,15 @@ class PrefetchService:
         disk store, so the prefetch is durable — the paper's
         "prefetched for users" made concrete. Returns the product ids
         actually replicated.
+
+        Pass ``now=`` to make the prefetch health-aware: a destination
+        that is dark (outage window) or fail-fasted by an open circuit
+        breaker is skipped outright — prefetching into a dead cache
+        wastes the transfer and would drive its breaker — and retried
+        naturally on the next prefetch cycle.
         """
+        if now is not None and not self.storage.site_healthy(home_site, now):
+            return []
         placed: list[str] = []
         for record in self.predict(home_site, top=top):
             try:

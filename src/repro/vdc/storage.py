@@ -15,6 +15,21 @@ single ``artifact_cache`` holds the one physical copy, mirroring OSDF's
 single federated namespace behind many caches. ``LocalRunner`` and the
 VDC therefore share one cache implementation (and, when both point at
 the same directory, one store).
+
+Resilience (PR 8): construct the storage with a
+:class:`~repro.resilience.BreakerPolicy` and pass ``now=`` to
+retrievals, and every site gets a per-site circuit breaker. A retrieval
+first tries the home site's replica, then fails over across the
+remaining replica sites from fastest WAN egress down; each *failed*
+probe (a site inside a :class:`~repro.faults.SiteOutage` window) costs
+``probe_cost_s`` and feeds its breaker, while an *open* breaker is
+skipped instantly — the fail-fast that makes repeated retrievals cheap
+during a long outage. When no replica is reachable the retrieval raises
+the retryable :class:`~repro.errors.StorageUnavailableError`, and
+:meth:`FederatedStorage.fetch_bank` can fall back to a caller-supplied
+``rebuild`` (recompute from source). Without a breaker policy (or
+without ``now=``) every path is bit-identical to the pre-resilience
+model.
 """
 
 from __future__ import annotations
@@ -22,12 +37,14 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable, Iterable
 
-from repro.errors import StorageError
+from repro.errors import StorageError, StorageUnavailableError
+from repro.resilience import BreakerPolicy, CircuitBreaker
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.gfcache import GFCache
+    from repro.faults import SiteOutage
     from repro.seismo.greens import GreensFunctionBank
 
 __all__ = ["StorageSite", "FederatedStorage"]
@@ -75,12 +92,22 @@ class FederatedStorage:
         bytes of bank-valued products (see module docstring). Without
         it, :meth:`store_bank`/:meth:`fetch_bank` are unavailable and
         the storage is a pure placement model.
+    breaker_policy:
+        When set, every site gets a :class:`~repro.resilience.CircuitBreaker`
+        and retrievals called with ``now=`` run the failover path of the
+        module docstring. ``None`` (default) disables the resilience
+        layer entirely.
+    outages:
+        :class:`~repro.faults.SiteOutage` windows (chaos injection);
+        more can be added later with :meth:`add_outage`.
     """
 
     def __init__(
         self,
         sites: list[StorageSite],
         artifact_cache: "GFCache | None" = None,
+        breaker_policy: BreakerPolicy | None = None,
+        outages: "Iterable[SiteOutage]" = (),
     ) -> None:
         if not sites:
             raise StorageError("need at least one storage site")
@@ -89,6 +116,15 @@ class FederatedStorage:
             raise StorageError(f"duplicate site names: {names}")
         self.sites = {s.name: s for s in sites}
         self.artifact_cache = artifact_cache
+        self.breaker_policy = breaker_policy
+        self.breakers: dict[str, CircuitBreaker] = (
+            {name: CircuitBreaker(name, breaker_policy) for name in self.sites}
+            if breaker_policy is not None
+            else {}
+        )
+        self.outages: list[SiteOutage] = list(outages)
+        self.n_failovers = 0
+        self.n_rebuilds = 0
         self._replicas: dict[str, set[str]] = {}  # product_id -> site names
         self._usage_mb: dict[str, float] = {name: 0.0 for name in self.sites}
         self._sizes: dict[str, float] = {}
@@ -101,6 +137,36 @@ class FederatedStorage:
             return self.sites[name]
         except KeyError:
             raise StorageError(f"unknown site {name!r}") from None
+
+    # -- health -------------------------------------------------------------
+
+    def add_outage(self, outage: "SiteOutage") -> None:
+        """Schedule one site-outage window (validates the site name)."""
+        self.site(outage.site)
+        self.outages.append(outage)
+
+    def in_outage(self, name: str, now: float) -> bool:
+        """Whether a site is inside an injected outage window."""
+        return any(o.site == name and o.active(now) for o in self.outages)
+
+    def site_healthy(self, name: str, now: float) -> bool:
+        """Non-mutating health query: outside every outage window and
+        (when breakers are on) not fail-fasted by an open breaker.
+
+        What prefetch uses to skip dark destinations; does not move any
+        breaker's state machine.
+        """
+        self.site(name)
+        if self.in_outage(name, now):
+            return False
+        breaker = self.breakers.get(name)
+        return breaker is None or breaker.would_allow(now)
+
+    def breaker_snapshots(self, now: float | None = None) -> list[dict]:
+        """Per-site breaker states for campaign summaries (name order)."""
+        return [
+            self.breakers[name].snapshot(now) for name in sorted(self.breakers)
+        ]
 
     # -- placement ----------------------------------------------------------
 
@@ -130,15 +196,24 @@ class FederatedStorage:
         self._replicas[product_id].add(site)
         self._usage_mb[site] += size
 
-    def drop_replica(self, product_id: str, site: str) -> None:
-        """Remove one replica; the last replica cannot be dropped."""
+    def drop_replica(self, product_id: str, site: str, force: bool = False) -> None:
+        """Remove one replica.
+
+        Dropping the *last* replica makes the product unretrievable
+        (every later fetch must rebuild from source), so it is refused
+        unless ``force=True`` — the guard against a cleanup script
+        silently destroying the only copy of a product.
+        """
         if product_id not in self._replicas:
             raise StorageError(f"unknown product {product_id!r}")
         replicas = self._replicas[product_id]
         if site not in replicas:
             raise StorageError(f"no replica of {product_id!r} at {site!r}")
-        if len(replicas) == 1:
-            raise StorageError(f"cannot drop the last replica of {product_id!r}")
+        if len(replicas) == 1 and not force:
+            raise StorageError(
+                f"refusing to drop the last replica of {product_id!r} "
+                f"(at {site!r}); pass force=True to destroy it"
+            )
         replicas.remove(site)
         self._usage_mb[site] -= self._sizes[product_id]
 
@@ -151,25 +226,87 @@ class FederatedStorage:
         return set(self._replicas[product_id])
 
     def retrieval_time_s(
-        self, product_id: str, home_site: str, cache: bool = True
+        self,
+        product_id: str,
+        home_site: str,
+        cache: bool = True,
+        now: float | None = None,
     ) -> float:
         """Seconds to deliver a product to a user at ``home_site``.
 
         A local replica reads at local bandwidth; otherwise the product
         crosses the WAN from a holding site and (with ``cache=True``)
         leaves a replica behind — the "optimized caching" behaviour.
+
+        With a breaker policy configured *and* ``now=`` supplied, the
+        resilient failover path runs instead: sources are tried home
+        site first, then the other replica sites from fastest WAN
+        egress down. A source whose breaker is open is skipped for
+        free; a source that turns out to be dark (outage window) costs
+        ``probe_cost_s`` and feeds its breaker. With every source dark
+        the retrieval raises the retryable
+        :class:`~repro.errors.StorageUnavailableError` carrying the
+        probe time already sunk (``penalty_s``). When all sites are
+        healthy the charged time equals the legacy path exactly.
         """
         home = self.site(home_site)
         size = self._sizes.get(product_id)
         if size is None:
             raise StorageError(f"unknown product {product_id!r}")
-        if home_site in self._replicas[product_id]:
-            return size / home.local_mb_per_s
-        elapsed = size / home.wan_mb_per_s
-        if cache and self._usage_mb[home_site] + size <= home.capacity_mb:
-            self._replicas[product_id].add(home_site)
-            self._usage_mb[home_site] += size
-        return elapsed
+        replicas = self._replicas[product_id]
+        if not replicas:
+            exc = StorageUnavailableError(
+                f"no replicas of {product_id!r} remain anywhere"
+            )
+            exc.penalty_s = 0.0
+            raise exc
+        if now is None or self.breaker_policy is None:
+            # Legacy path: every site is implicitly healthy.
+            if home_site in replicas:
+                return size / home.local_mb_per_s
+            elapsed = size / home.wan_mb_per_s
+            if cache and self._usage_mb[home_site] + size <= home.capacity_mb:
+                replicas.add(home_site)
+                self._usage_mb[home_site] += size
+            return elapsed
+
+        candidates = sorted(
+            replicas,
+            key=lambda name: (
+                name != home_site,  # home replica first (local read)
+                -self.sites[name].wan_mb_per_s,  # then fastest egress
+                name,
+            ),
+        )
+        penalty = 0.0
+        for source in candidates:
+            breaker = self.breakers[source]
+            if not breaker.allow(now + penalty):
+                continue  # open breaker: fail fast, no probe cost
+            if self.in_outage(source, now + penalty):
+                breaker.record_failure(now + penalty)
+                penalty += self.breaker_policy.probe_cost_s
+                continue
+            breaker.record_success()
+            if source != candidates[0]:
+                self.n_failovers += 1
+            if source == home_site:
+                return penalty + size / home.local_mb_per_s
+            elapsed = penalty + size / home.wan_mb_per_s
+            if (
+                cache
+                and self.site_healthy(home_site, now + penalty)
+                and self._usage_mb[home_site] + size <= home.capacity_mb
+            ):
+                replicas.add(home_site)
+                self._usage_mb[home_site] += size
+            return elapsed
+        exc = StorageUnavailableError(
+            f"no healthy replica of {product_id!r} reachable at t={now:.0f}s "
+            f"(tried {len(candidates)} site(s), sunk {penalty:.0f}s probing)"
+        )
+        exc.penalty_s = penalty
+        raise exc
 
     def usage_mb(self, site: str) -> float:
         """Bytes (MB) currently placed at a site."""
@@ -234,24 +371,48 @@ class FederatedStorage:
         return self._bank_dtypes.get(product_id)
 
     def fetch_bank(
-        self, product_id: str, home_site: str
+        self,
+        product_id: str,
+        home_site: str,
+        now: float | None = None,
+        rebuild: "Callable[[], GreensFunctionBank] | None" = None,
     ) -> "tuple[GreensFunctionBank, float]":
         """Deliver a bank to a home site: ``(bank, elapsed seconds)``.
 
         The elapsed time comes from :meth:`retrieval_time_s` (leaving a
         cached replica behind as usual); the bytes come from the one
         physical copy in the artifact cache.
+
+        ``rebuild`` is the recompute-from-source fallback: when no
+        healthy replica survives, or the cached bytes are gone (e.g.
+        quarantined after failing their digest check), the bank is
+        regenerated, re-seeded into the artifact cache, and returned —
+        the elapsed time then covers only the probe penalty already
+        sunk, since the recompute happens on the caller's clock.
+        Without ``rebuild`` those conditions raise.
         """
         cache = self._require_cache()
         key = self._bank_keys.get(product_id)
         if key is None:
             raise StorageError(f"product {product_id!r} has no bank attached")
-        elapsed = self.retrieval_time_s(product_id, home_site)
+        try:
+            elapsed = self.retrieval_time_s(product_id, home_site, now=now)
+        except StorageUnavailableError as exc:
+            if rebuild is None:
+                raise
+            bank = rebuild()
+            cache.put(key, bank)
+            self.n_rebuilds += 1
+            return bank, float(getattr(exc, "penalty_s", 0.0))
         bank = cache.get(key)
         if bank is None:
-            raise StorageError(
-                f"bank bytes for {product_id!r} are gone from the artifact cache"
-            )
+            if rebuild is None:
+                raise StorageError(
+                    f"bank bytes for {product_id!r} are gone from the artifact cache"
+                )
+            bank = rebuild()
+            cache.put(key, bank)
+            self.n_rebuilds += 1
         return bank, elapsed
 
     def materialize(self, product_id: str) -> Path | None:

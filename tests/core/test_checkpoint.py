@@ -9,6 +9,7 @@ from repro.core.config import FdwConfig
 from repro.core.local import LocalRunner
 from repro.errors import CheckpointError, ConfigError
 from repro.faults import ChunkCrash, FaultInjected, FaultPlan
+from repro.integrity import write_digest
 
 
 @pytest.fixture(scope="module")
@@ -63,21 +64,61 @@ def test_resume_validates_digest_and_plan(tmp_path, ckpt_config):
 
 
 def test_resume_rejects_bad_manifest(tmp_path, ckpt_config):
+    # Validation errors need a *validly signed* manifest — a bad digest
+    # is corruption (quarantined, covered below), not a user mistake.
     ck = RunCheckpoint(tmp_path, ckpt_config, n_a_chunks=3, n_c_chunks=3)
     manifest = json.loads(ck.manifest_path.read_text())
     manifest["version"] = 99
     ck.manifest_path.write_text(json.dumps(manifest))
+    write_digest(ck.manifest_path)
     with pytest.raises(CheckpointError, match="version"):
         RunCheckpoint(tmp_path, ckpt_config, n_a_chunks=3, n_c_chunks=3, resume=True)
     manifest = json.loads(ck.manifest_path.read_text())
     manifest["version"] = RunCheckpoint.VERSION
     manifest["done_a"] = [7]
     ck.manifest_path.write_text(json.dumps(manifest))
+    write_digest(ck.manifest_path)
     with pytest.raises(CheckpointError, match="out of range"):
         RunCheckpoint(tmp_path, ckpt_config, n_a_chunks=3, n_c_chunks=3, resume=True)
+
+
+def test_resume_quarantines_corrupt_manifest(tmp_path, ckpt_config):
+    """A manifest that fails its digest check (tampered bytes) or no
+    longer parses degrades the resume to a fresh start — and the
+    damaged manifest is preserved in quarantine, not deleted."""
+    ck = RunCheckpoint(tmp_path, ckpt_config, n_a_chunks=3, n_c_chunks=3)
+    ck.store_a_chunk(0, [])
     ck.manifest_path.write_text("{not json")
-    with pytest.raises(CheckpointError, match="unreadable"):
-        RunCheckpoint(tmp_path, ckpt_config, n_a_chunks=3, n_c_chunks=3, resume=True)
+    write_digest(ck.manifest_path)
+    ck2 = RunCheckpoint(tmp_path, ckpt_config, n_a_chunks=3, n_c_chunks=3, resume=True)
+    assert ck2.n_done("A") == 0
+    assert len(ck2.quarantined) == 1
+    assert ck2.quarantined[0].parent == tmp_path / RunCheckpoint.QUARANTINE_DIRNAME
+    assert ck2.quarantined[0].read_text() == "{not json"
+
+    # Tampered bytes under the original sidecar: digest mismatch.
+    ck2.store_a_chunk(0, [])
+    text = ck2.manifest_path.read_text()
+    ck2.manifest_path.write_text(text.replace('"done_a"', '"done_x"'))
+    ck3 = RunCheckpoint(tmp_path, ckpt_config, n_a_chunks=3, n_c_chunks=3, resume=True)
+    assert ck3.n_done("A") == 0 and len(ck3.quarantined) == 1
+
+
+def test_corrupt_chunk_quarantined_and_redone(tmp_path, ckpt_config):
+    """A damaged chunk file is quarantined, un-marked done, and
+    reported as None so the runner re-executes just that chunk."""
+    ck = RunCheckpoint(tmp_path, ckpt_config, n_a_chunks=3, n_c_chunks=3)
+    ck.store_a_chunk(0, [])
+    ck.store_a_chunk(1, [])
+    path = ck._chunk_path("A", 1)
+    path.write_bytes(path.read_bytes()[:-1])  # truncation
+    assert ck.try_load_a_chunk(0) == []
+    assert ck.try_load_a_chunk(1) is None
+    assert not ck.is_done("A", 1) and ck.is_done("A", 0)
+    assert len(ck.quarantined) == 1 and not path.exists()
+    # The discard is durable: a resume sees the chunk as pending too.
+    ck2 = RunCheckpoint(tmp_path, ckpt_config, n_a_chunks=3, n_c_chunks=3, resume=True)
+    assert ck2.done["A"] == {0}
 
 
 def test_resume_without_manifest_starts_fresh(tmp_path, ckpt_config):

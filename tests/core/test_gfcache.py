@@ -247,3 +247,60 @@ def test_publish_attach_float32_roundtrip(small_gf_bank):
         for shm in segments:
             shm.close()
             shm.unlink()
+
+
+# -- integrity: corrupt disk entries degrade to a recompute -------------------
+
+
+def test_truncated_disk_entry_is_quarantined_miss(tmp_path, small_geometry,
+                                                  small_network):
+    """Regression: a truncated ``.npz`` used to leak zipfile.BadZipFile
+    out of get(); now it is an IntegrityError handled as a cache miss."""
+    cache = GFCache(cache_dir=tmp_path)
+    cold = cache.get_or_compute(small_geometry, small_network)
+    path = next(tmp_path.glob("gf_*.npz"))
+    path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+    cache.clear()  # force the disk path
+    recomputed = cache.get_or_compute(small_geometry, small_network)
+    assert np.array_equal(recomputed.statics, cold.statics)
+    assert cache.stats.integrity_failures == 1
+    assert cache.stats.misses == 2  # the corrupt lookup counted as a miss
+    assert len(cache.quarantined) == 1
+    quarantined = cache.quarantined[0]
+    assert quarantined.parent == tmp_path / "quarantine"
+    assert quarantined.with_name(quarantined.name + ".reason").exists()
+    # The store healed itself: the recompute rewrote the disk entry.
+    cache.clear()
+    again = cache.get_or_compute(small_geometry, small_network)
+    assert np.array_equal(again.statics, cold.statics)
+    assert cache.stats.disk_hits == 1
+
+
+def test_bitflipped_disk_entry_fails_digest(tmp_path, small_geometry,
+                                            small_network):
+    cache = GFCache(cache_dir=tmp_path)
+    cache.get_or_compute(small_geometry, small_network)
+    path = next(tmp_path.glob("gf_*.npz"))
+    data = bytearray(path.read_bytes())
+    data[len(data) // 2] ^= 0x01
+    path.write_bytes(bytes(data))
+    cache.clear()
+    cache.get_or_compute(small_geometry, small_network)
+    assert cache.stats.integrity_failures == 1
+    assert len(cache.quarantined) == 1
+
+
+def test_clear_disk_leaves_quarantine_untouched(tmp_path, small_geometry,
+                                                small_network):
+    cache = GFCache(cache_dir=tmp_path)
+    cache.get_or_compute(small_geometry, small_network)
+    path = next(tmp_path.glob("gf_*.npz"))
+    path.write_bytes(b"not a zip")
+    cache.clear()
+    assert cache.get(
+        # the key of the only disk entry
+        cache.disk_keys()[0] if cache.disk_keys() else "gone"
+    ) is None
+    assert len(cache.quarantined) == 1
+    cache.clear(disk=True)
+    assert cache.quarantined[0].exists()  # evidence outlives cache resets

@@ -278,3 +278,62 @@ class _FakeStationsConfig:
 def test_estimate_rejects_nonpositive_stations(n_stations):
     with pytest.raises(ConfigError, match="n_stations"):
         estimate_sequential_runtime_s(_FakeStationsConfig(n_stations))
+
+
+# -- retry path: flaky chunks are retried, products unchanged ------------------
+
+
+def test_flaky_chunks_retried_to_identical_archive(tmp_path, tiny_config):
+    """A retryable flake on one chunk per phase costs extra attempts and
+    accounted backoff but changes no product byte."""
+    from repro.faults import ChunkFlake, FaultPlan
+
+    plain = LocalRunner().run(tiny_config, archive_dir=tmp_path / "plain")
+    plan = FaultPlan(
+        flakes=(ChunkFlake("A", 1, times=2), ChunkFlake("C", 0, times=1))
+    )
+    flaky = LocalRunner().run(
+        tiny_config, archive_dir=tmp_path / "flaky", faults=plan
+    )
+    assert flaky.chunk_retries == {"A": 2, "C": 1}
+    assert flaky.retry_backoff_s > 0.0
+    assert flaky.pgd_by_rupture == plain.pgd_by_rupture
+    plain_files = sorted(p.name for p in (tmp_path / "plain").rglob("*") if p.is_file())
+    flaky_files = sorted(p.name for p in (tmp_path / "flaky").rglob("*") if p.is_file())
+    assert plain_files == flaky_files
+    for name in plain_files:
+        a = next((tmp_path / "plain").rglob(name))
+        b = next((tmp_path / "flaky").rglob(name))
+        assert a.read_bytes() == b.read_bytes()
+
+
+def test_pooled_flaky_chunks_match_sequential(tmp_path, tiny_config):
+    """The pooled paths resubmit the flaked chunk to the pool and still
+    produce the sequential archive."""
+    from repro.faults import ChunkFlake, FaultPlan
+
+    plain = LocalRunner().run(tiny_config)
+    plan = FaultPlan(
+        flakes=(ChunkFlake("A", 0, times=1), ChunkFlake("C", 1, times=1))
+    )
+    with LocalRunner(n_workers=2) as runner:
+        flaky = runner.run(tiny_config, faults=plan)
+    assert flaky.chunk_retries == {"A": 1, "C": 1}
+    assert flaky.pgd_by_rupture == plain.pgd_by_rupture
+
+
+def test_flake_exhaustion_raises_transient_fault(tiny_config):
+    """A chunk that flakes more times than the policy retries surfaces
+    the typed retryable error instead of looping forever."""
+    from repro.faults import ChunkFlake, FaultPlan, TransientFault
+    from repro.resilience import RetryPolicy
+
+    plan = FaultPlan(flakes=(ChunkFlake("A", 0, times=99),))
+    runner = LocalRunner(retry_policy=RetryPolicy(max_attempts=2))
+    with pytest.raises(TransientFault):
+        runner.run(tiny_config, faults=plan)
+
+
+def test_no_faults_reports_zero_retries(run_result):
+    assert run_result.chunk_retries == {"A": 0, "C": 0}
+    assert run_result.retry_backoff_s == 0.0

@@ -162,3 +162,101 @@ def test_max_entries_validation():
         TransferConfig(max_entries_per_site=-3)
     assert TransferConfig(max_entries_per_site=None).max_entries_per_site is None
     assert TransferConfig(max_entries_per_site=1).max_entries_per_site == 1
+
+
+# -- injected transfer faults and the retry path -------------------------------
+
+
+def one_site_faulted(fault_kwargs=None, **cfg_kwargs):
+    from repro.faults import TransferFaults
+
+    defaults = dict(n_cache_sites=1, setup_overhead_s=0.0)
+    defaults.update(cfg_kwargs)
+    return StashCache(
+        TransferConfig(**defaults),
+        faults=TransferFaults(**(fault_kwargs or {})),
+    )
+
+
+def test_zero_prob_faults_match_fault_free_times():
+    """A fault model that never fires adds no time — only the stream
+    draws differ, and those live on the model's private generator."""
+    plain = one_site_cache(include_image=False)
+    armed = one_site_faulted(include_image=False)
+    job = spec({"gf.npz": 1000.0})
+    for _ in range(5):
+        assert plain.transfer_time(job, np.random.default_rng(3)) == pytest.approx(
+            armed.transfer_time(job, np.random.default_rng(3))
+        )
+    assert armed.n_transfer_faults == 0
+    assert armed.total_backoff_seconds == 0.0
+
+
+def test_fault_draws_deterministic_across_caches():
+    def run(seed):
+        cache = one_site_faulted(
+            fault_kwargs=dict(failure_prob=0.3, slow_prob=0.2, seed=seed),
+            include_image=False,
+        )
+        rng = np.random.default_rng(0)
+        times = [
+            cache.transfer_time(spec({f"f{i}": 50.0}), rng) for i in range(20)
+        ]
+        return times, cache.n_transfer_faults, cache.faults.n_slow
+
+    a = run(4)
+    assert a == run(4)  # same fault seed: identical times and counters
+    assert a[1] >= 1 and a[2] >= 1  # the storm actually fired
+    assert a != run(5)  # a different fault seed explores a different storm
+
+
+def test_slow_attempt_multiplies_bandwidth_not_setup():
+    cache = one_site_faulted(
+        fault_kwargs=dict(slow_prob=0.999, slow_factor=4.0, seed=0),
+        setup_overhead_s=35.0,
+        origin_mb_per_s=10.0,
+        include_image=False,
+    )
+    t = cache.transfer_time(spec({"f": 100.0}), np.random.default_rng(0))
+    assert t == pytest.approx(35.0 + 4.0 * 10.0)
+    assert cache.faults.n_slow == 1
+
+
+def test_failed_attempts_pay_backoff_then_succeed():
+    from repro.resilience import RetryPolicy
+
+    cache = one_site_faulted(
+        fault_kwargs=dict(failure_prob=0.999, seed=0),
+        origin_mb_per_s=10.0,
+        cache_mb_per_s=100.0,
+        include_image=False,
+    )
+    t = cache.transfer_time(spec({"f": 100.0}), np.random.default_rng(0))
+    # Every attempt failed: 1 cold + (max_attempts - 1) warm re-pulls,
+    # the full backoff schedule, then the degraded direct origin pull.
+    policy = RetryPolicy()
+    schedule = policy.schedule(0, "transfer", "j")
+    expected = 10.0 + (policy.max_attempts - 1) * 1.0 + sum(schedule) + 10.0
+    assert t == pytest.approx(expected)
+    assert cache.n_transfer_faults == policy.max_attempts
+    assert cache.n_transfer_retries == len(schedule)
+    assert cache.n_degraded_transfers == 1
+    assert cache.total_backoff_seconds == pytest.approx(sum(schedule))
+
+
+def test_reset_rewinds_fault_stream():
+    cache = one_site_faulted(
+        fault_kwargs=dict(failure_prob=0.3, slow_prob=0.2, seed=9),
+        include_image=False,
+    )
+
+    def storm():
+        rng = np.random.default_rng(1)
+        return [cache.transfer_time(spec({"f": 10.0}), rng) for _ in range(10)]
+
+    first = storm()
+    counters = (cache.n_transfer_faults, cache.n_degraded_transfers)
+    cache.reset()
+    assert cache.n_transfer_faults == 0
+    assert storm() == first  # identical replay after reset
+    assert (cache.n_transfer_faults, cache.n_degraded_transfers) == counters

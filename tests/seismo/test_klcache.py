@@ -225,3 +225,46 @@ def test_generator_warm_cache_reproduces_cold(small_geometry, small_distances):
     assert cache.stats.lookups > lookups_after_cold
     assert cache.stats.hits >= 1
     assert np.array_equal(cold.slip_m, warm.slip_m)
+
+
+# -- integrity: corrupt disk entries degrade to a recompute -------------------
+
+
+def test_truncated_disk_entry_is_quarantined_miss(tmp_path, small_distances,
+                                                  patch):
+    """Regression: a truncated ``.npz`` used to leak zipfile.BadZipFile
+    out of get(); now it is an IntegrityError handled as a cache miss."""
+    store = tmp_path / "kl"
+    cold = KLCache(cache_dir=store).get_or_compute(
+        small_distances, patch, 50.0, 30.0, n_modes=8
+    )
+    path = next(store.glob("kl_*.npz"))
+    path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+    fresh = KLCache(cache_dir=store)
+    recomputed = fresh.get_or_compute(small_distances, patch, 50.0, 30.0, n_modes=8)
+    assert np.array_equal(recomputed.eigenvalues, cold.eigenvalues)
+    assert fresh.stats.integrity_failures == 1
+    assert fresh.stats.misses == 1  # the corrupt lookup was a miss
+    assert len(fresh.quarantined) == 1
+    quarantined = fresh.quarantined[0]
+    assert quarantined.parent == store / "quarantine"
+    assert quarantined.with_name(quarantined.name + ".reason").exists()
+    # The recompute rewrote the entry: the next cold cache disk-hits.
+    healed = KLCache(cache_dir=store)
+    healed.get_or_compute(small_distances, patch, 50.0, 30.0, n_modes=8)
+    assert healed.stats.disk_hits == 1
+
+
+def test_bitflipped_disk_entry_fails_digest(tmp_path, small_distances, patch):
+    store = tmp_path / "kl"
+    KLCache(cache_dir=store).get_or_compute(
+        small_distances, patch, 50.0, 30.0, n_modes=8
+    )
+    path = next(store.glob("kl_*.npz"))
+    data = bytearray(path.read_bytes())
+    data[len(data) // 2] ^= 0x01
+    path.write_bytes(bytes(data))
+    fresh = KLCache(cache_dir=store)
+    fresh.get_or_compute(small_distances, patch, 50.0, 30.0, n_modes=8)
+    assert fresh.stats.integrity_failures == 1
+    assert len(fresh.quarantined) == 1

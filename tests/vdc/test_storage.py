@@ -211,3 +211,183 @@ def test_product_size_unknown_product(tmp_path, small_gf_bank):
     with pytest.raises(StorageError):
         fed.product_size_mb("nope")
     assert fed.bank_dtype("nope") is None
+
+
+# -- resilience: breakers, outages, failover, rebuild --------------------------
+
+
+def resilient_federation(**kwargs):
+    from repro.faults import SiteOutage
+    from repro.resilience import BreakerPolicy
+
+    defaults = dict(
+        breaker_policy=BreakerPolicy(
+            failure_threshold=2, cooldown_s=100.0, probe_cost_s=5.0
+        ),
+        outages=[SiteOutage("fast", 50.0, 250.0)],
+    )
+    defaults.update(kwargs)
+    fed = FederatedStorage(
+        [
+            StorageSite("home", local_mb_per_s=100.0, wan_mb_per_s=10.0),
+            StorageSite("fast", wan_mb_per_s=80.0),
+            StorageSite("slow", wan_mb_per_s=20.0),
+        ],
+        **defaults,
+    )
+    return fed
+
+
+def test_drop_last_replica_needs_force():
+    """Satellite: a cleanup must not silently destroy the only copy."""
+    fed = federation()
+    fed.store("p", 10.0, "a")
+    with pytest.raises(StorageError, match="force=True"):
+        fed.drop_replica("p", "a")
+    assert fed.replicas("p") == {"a"}  # refused drop changed nothing
+    fed.drop_replica("p", "a", force=True)
+    assert fed.replicas("p") == set()
+    assert fed.usage_mb("a") == 0.0
+
+
+def test_zero_replicas_is_unavailable_not_keyerror():
+    from repro.errors import StorageUnavailableError
+
+    fed = federation()
+    fed.store("p", 10.0, "a")
+    fed.drop_replica("p", "a", force=True)
+    with pytest.raises(StorageUnavailableError) as err:
+        fed.retrieval_time_s("p", "b")
+    assert err.value.penalty_s == 0.0
+    assert err.value.retryable
+
+
+def test_legacy_paths_unchanged_without_now():
+    """Breakers configured but no ``now=``: bit-identical to the plain
+    model (every site implicitly healthy, no probe charges)."""
+    plain = federation()
+    armed = resilient_federation()
+    plain.store("p", 100.0, "a")
+    armed.store("p", 100.0, "home")
+    assert armed.retrieval_time_s("p", "home") == plain.retrieval_time_s("p", "a")
+    assert armed.n_failovers == 0
+
+
+def test_failover_prefers_home_then_fastest_egress():
+    fed = resilient_federation(outages=[])
+    fed.store("p", 100.0, "fast")
+    fed.replicate("p", "slow")
+    fed.replicate("p", "home")
+    # Home replica: local read, no failover.
+    assert fed.retrieval_time_s("p", "home", now=0.0) == pytest.approx(1.0)
+    assert fed.n_failovers == 0
+    fed.drop_replica("p", "home")
+    # No home replica: the fastest-egress source serves, WAN-priced at
+    # the *home* site's ingress — same charge as the legacy model.
+    t = fed.retrieval_time_s("p", "home", now=0.0, cache=False)
+    assert t == pytest.approx(100.0 / 10.0)
+
+
+def test_outage_probe_costs_and_breaker_trips():
+    from repro.resilience import BREAKER_OPEN
+
+    fed = resilient_federation()
+    fed.store("p", 100.0, "fast")
+    fed.replicate("p", "slow")
+    # Outside the window: fast serves, breakers untouched.
+    assert fed.retrieval_time_s("p", "home", now=0.0, cache=False) == pytest.approx(10.0)
+    # Inside: the fast probe fails (+5 s), slow serves the transfer.
+    t = fed.retrieval_time_s("p", "home", now=60.0, cache=False)
+    assert t == pytest.approx(5.0 + 10.0)
+    assert fed.n_failovers == 1
+    assert fed.breakers["fast"].consecutive_failures == 1
+    # Second dark probe trips the breaker (threshold 2)...
+    fed.retrieval_time_s("p", "home", now=70.0, cache=False)
+    assert fed.breakers["fast"].state == BREAKER_OPEN
+    # ...and while it is open the dead site is skipped for free.
+    t = fed.retrieval_time_s("p", "home", now=80.0, cache=False)
+    assert t == pytest.approx(10.0)
+    # After the outage and cooldown, the half-open probe heals it.
+    fed.retrieval_time_s("p", "home", now=300.0, cache=False)
+    assert fed.breakers["fast"].state == "closed"
+
+
+def test_all_sources_dark_raises_with_penalty():
+    from repro.errors import StorageUnavailableError
+    from repro.faults import SiteOutage
+
+    fed = resilient_federation(
+        outages=[SiteOutage("fast", 0.0, 100.0), SiteOutage("slow", 0.0, 100.0)]
+    )
+    fed.store("p", 100.0, "fast")
+    fed.replicate("p", "slow")
+    with pytest.raises(StorageUnavailableError) as err:
+        fed.retrieval_time_s("p", "home", now=10.0)
+    assert err.value.penalty_s == pytest.approx(10.0)  # two failed probes
+    assert err.value.retryable
+
+
+def test_site_healthy_and_add_outage():
+    from repro.faults import SiteOutage
+
+    fed = resilient_federation(outages=[])
+    assert fed.site_healthy("fast", now=60.0)
+    fed.add_outage(SiteOutage("fast", 50.0, 250.0))
+    assert not fed.site_healthy("fast", now=60.0)
+    assert fed.site_healthy("fast", now=250.0)  # window is half-open
+    with pytest.raises(StorageError):
+        fed.add_outage(SiteOutage("nope", 0.0, 1.0))
+    assert not fed.in_outage("slow", 60.0)
+
+
+def test_breaker_snapshots_sorted():
+    fed = resilient_federation()
+    snaps = fed.breaker_snapshots(now=0.0)
+    assert [s["name"] for s in snaps] == ["fast", "home", "slow"]
+    assert all(s["state"] == "closed" for s in snaps)
+
+
+def test_fetch_bank_rebuilds_when_no_replica_survives(tmp_path, small_gf_bank):
+    import numpy as np
+
+    from repro.core.gfcache import GFCache
+    from repro.resilience import BreakerPolicy
+
+    fed = FederatedStorage(
+        [StorageSite("origin"), StorageSite("home")],
+        artifact_cache=GFCache(cache_dir=tmp_path / "store"),
+        breaker_policy=BreakerPolicy(failure_threshold=2, probe_cost_s=5.0),
+    )
+    fed.store_bank("gf/p", small_gf_bank, "origin")
+    fed.drop_replica("gf/p", "origin", force=True)
+    rebuilt = []
+
+    def rebuild():
+        rebuilt.append(None)
+        return small_gf_bank
+
+    with pytest.raises(StorageError):
+        fed.fetch_bank("gf/p", "home", now=0.0)  # no rebuild: surfaces
+    bank, elapsed = fed.fetch_bank("gf/p", "home", now=0.0, rebuild=rebuild)
+    assert np.array_equal(bank.statics, small_gf_bank.statics)
+    assert elapsed == 0.0  # no probes sunk: replicas were simply gone
+    assert rebuilt and fed.n_rebuilds == 1
+
+
+def test_fetch_bank_rebuilds_quarantined_bytes(tmp_path, small_gf_bank):
+    """Replica bookkeeping says the product exists, but the one physical
+    copy fails its digest: fetch quarantines and rebuilds."""
+    from repro.core.gfcache import GFCache
+
+    cache = GFCache(cache_dir=tmp_path / "store")
+    fed = FederatedStorage(
+        [StorageSite("origin"), StorageSite("home")], artifact_cache=cache
+    )
+    fed.store_bank("gf/p", small_gf_bank, "origin")
+    cache.clear()  # memory gone; disk is the only copy
+    path = next((tmp_path / "store").glob("gf_*.npz"))
+    path.write_bytes(path.read_bytes()[:100])
+    bank, _ = fed.fetch_bank("gf/p", "home", rebuild=lambda: small_gf_bank)
+    assert bank is small_gf_bank
+    assert fed.n_rebuilds == 1
+    assert len(cache.quarantined) == 1

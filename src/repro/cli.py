@@ -21,6 +21,8 @@ in a home directory, edit a configuration file, and run a script
     python -m repro.cli wf generate examples/fdw64_wfformat.json -n 500 -o gen.json
     python -m repro.cli wf replay gen.json --dagmans 4 --burst
     python -m repro.cli chaos --seed 7               # seeded chaos campaign
+    python -m repro.cli serve --tenants 8 --submissions 64 --seed 7
+    python -m repro.cli serve --backend pool --submissions 8   # real pool runs
 
 All subcommands print the monitoring/report output the paper's tooling
 produces and exit non-zero on failure.
@@ -183,6 +185,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument(
         "--transfer-failure-prob", type=float, default=0.15,
         help="per-attempt Stash transfer failure probability",
+    )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run a seeded multi-tenant portal-service session (fair share, "
+        "coalescing, quota/backpressure) and print its report",
+    )
+    p_serve.add_argument("--tenants", type=int, default=8, help="simulated tenants")
+    p_serve.add_argument(
+        "--submissions", type=int, default=64, help="total submissions across tenants"
+    )
+    p_serve.add_argument(
+        "--distinct", type=int, default=6,
+        help="distinct scenarios the submissions draw from (repeats coalesce)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=4, help="concurrent executions (virtual)"
+    )
+    p_serve.add_argument("--seed", type=int, default=0, help="session seed")
+    p_serve.add_argument(
+        "--waveforms", type=int, default=16, help="waveforms per scenario"
+    )
+    p_serve.add_argument(
+        "--backend", choices=("sim", "pool", "burst", "local"), default="sim",
+        help="execution backend behind the service (default: virtual-cost sim; "
+        "'pool'/'burst'/'local' run the real simulators per distinct scenario)",
     )
 
     p_fig = sub.add_parser("figures", help="regenerate the paper-figure CSVs")
@@ -471,6 +499,34 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.bit_identical else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import (
+        BurstingRunner,
+        LocalBackend,
+        PoolRunner,
+        SimulatedRunner,
+        run_service_demo,
+    )
+
+    runners = {
+        "sim": SimulatedRunner,
+        "pool": PoolRunner,
+        "burst": BurstingRunner,
+        "local": LocalBackend,
+    }
+    report = run_service_demo(
+        n_tenants=args.tenants,
+        n_submissions=args.submissions,
+        n_distinct=args.distinct,
+        seed=args.seed,
+        n_workers=args.workers,
+        n_waveforms=args.waveforms,
+        runner=runners[args.backend](),
+    )
+    print(report.summary())
+    return 0
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.core.figures import export_all_figures
 
@@ -489,6 +545,7 @@ _COMMANDS = {
     "dagfile": _cmd_dagfile,
     "wf": _cmd_wf,
     "chaos": _cmd_chaos,
+    "serve": _cmd_serve,
     "figures": _cmd_figures,
 }
 

@@ -19,6 +19,7 @@ fails before any jobs are planned.
 from __future__ import annotations
 
 import configparser
+import hashlib
 from dataclasses import dataclass, replace
 from pathlib import Path
 
@@ -107,6 +108,35 @@ class FdwConfig:
     def n_subfaults(self) -> int:
         """Fault mesh size."""
         return self.mesh[0] * self.mesh[1]
+
+    def content_digest(self) -> str:
+        """Content-addressed sha256 of the full configuration.
+
+        Hashes the canonical file serialization (:meth:`write`'s
+        format), so two configs that would produce byte-identical
+        products share a digest. This is the coarse key of the service
+        layer's request coalescing: the config determines the geometry,
+        station network, and seed, and therefore the downstream
+        content-addressed GF-bank and K-L keys
+        (:func:`~repro.core.gfcache.gf_bank_key`,
+        :mod:`repro.seismo.klcache`).
+        """
+        lines = [
+            f"{self.n_waveforms}",
+            f"{self.n_stations}",
+            f"{self.chunk_a}",
+            f"{self.chunk_c}",
+            f"{self.recycle_distances}",
+            f"{self.mesh[0]}x{self.mesh[1]}",
+            f"{self.mw_range[0]!r}-{self.mw_range[1]!r}",
+            f"{self.retries}",
+            f"{self.max_idle}",
+            f"{self.gf_dtype}",
+            f"{self.seed}",
+            self.name,
+        ]
+        material = "fdwconfig-v1\x1f" + "\x1f".join(lines)
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
     def with_waveforms(self, n: int, name: str | None = None) -> "FdwConfig":
         """Copy with a different catalog size (and optionally name)."""

@@ -42,6 +42,9 @@ __all__ = [
     "StorageUnavailableError",
     "CircuitOpenError",
     "PortalError",
+    "ServiceError",
+    "QuotaExceededError",
+    "BackpressureError",
 ]
 
 
@@ -208,3 +211,34 @@ class CircuitOpenError(StorageError):
 
 class PortalError(ReproError):
     """A VDC portal request was invalid."""
+
+
+# --- service --------------------------------------------------------------
+
+
+class ServiceError(ReproError):
+    """A portal-service request failed (bad tenant, closed service...)."""
+
+
+class QuotaExceededError(ServiceError):
+    """A tenant is at its per-tenant pending-submission quota.
+
+    *Not* retryable by the backoff wrapper: the quota only frees up when
+    the tenant's *own* earlier submissions finish, so the right reaction
+    is to await an outstanding ticket, not to hammer ``submit`` on a
+    backoff schedule.
+    """
+
+    retryable = False
+
+
+class BackpressureError(ServiceError):
+    """The service's shared submission queue is full.
+
+    Retryable: the queue drains as the backends execute, so a backed-off
+    re-submission is expected to land — the classic load-shedding
+    contract (the client slows down instead of the service falling
+    over).
+    """
+
+    retryable = True

@@ -39,6 +39,7 @@ __all__ = [
     "QUARANTINE_DIRNAME",
     "sha256_bytes",
     "digest_path",
+    "write_artifact",
     "write_digest",
     "read_digest",
     "read_verified",
@@ -72,6 +73,24 @@ def _atomic_write(path: Path, data: bytes) -> None:
         fh.flush()
         os.fsync(fh.fileno())
     os.replace(tmp, path)
+
+
+def write_artifact(path: str | Path, data: bytes) -> Path:
+    """Atomically write an artifact *and* its sha256 sidecar.
+
+    The payload goes down via temp-then-rename (a crash mid-write can
+    never leave a torn file under the final name), then the sidecar is
+    written from the digest of the in-memory bytes. The artifact/sidecar
+    pair therefore always agrees; a reader that observes the artifact
+    without its fresh sidecar (crash between the two renames) falls back
+    to trust-on-first-use or fails the digest check — never parses a
+    half-written payload. Returns the artifact path.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    _atomic_write(path, data)
+    write_digest(path, sha256_bytes(data))
+    return path
 
 
 def write_digest(path: str | Path, digest: str | None = None) -> Path:

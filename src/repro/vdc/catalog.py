@@ -6,6 +6,13 @@ for training EEW models" (paper §6). The catalog is an in-memory,
 JSON-persistable index of :class:`ProductRecord` entries with free-form
 tags and typed metadata, plus a small query language (exact match,
 ranges on numeric fields, tag subsets).
+
+Persistence goes through :mod:`repro.integrity`: :meth:`DataCatalog.save`
+writes the JSON via temp-then-rename with a sha256 sidecar, and
+:meth:`DataCatalog.load` verifies the digest before parsing, quarantining
+a corrupt file instead of silently serving (or crashing on) torn records
+— the catalog is community metadata, the one artifact the federation
+cannot rebuild from source.
 """
 
 from __future__ import annotations
@@ -15,7 +22,8 @@ import re
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
-from repro.errors import CatalogError
+from repro.errors import CatalogError, IntegrityError
+from repro.integrity import quarantine_artifact, read_verified, write_artifact
 
 __all__ = ["ProductRecord", "DataCatalog"]
 
@@ -144,7 +152,13 @@ class DataCatalog:
                 ok = True
                 for key, (lo, hi) in ranges.items():
                     value = record.metadata.get(key)
-                    if not isinstance(value, (int, float)) or not (lo <= value <= hi):
+                    # bool is an int subclass but True/False matching a
+                    # numeric range is always a type confusion, not a hit.
+                    if (
+                        isinstance(value, bool)
+                        or not isinstance(value, (int, float))
+                        or not (lo <= value <= hi)
+                    ):
                         ok = False
                         break
                 if not ok:
@@ -164,9 +178,14 @@ class DataCatalog:
     # -- persistence --------------------------------------------------------------
 
     def save(self, path: str | Path) -> Path:
-        """Persist the catalog as JSON."""
+        """Persist the catalog as JSON, atomically.
+
+        The payload is written temp-then-rename with a sha256 sidecar
+        (:func:`repro.integrity.write_artifact`), so a crash mid-save
+        leaves either the previous catalog or the new one — never a
+        torn file — and :meth:`load` can verify what it reads.
+        """
         path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = [
             {
                 "product_id": r.product_id,
@@ -179,21 +198,60 @@ class DataCatalog:
             }
             for r in sorted(self._records.values(), key=lambda r: r.product_id)
         ]
-        path.write_text(json.dumps(payload, indent=2))
+        write_artifact(path, json.dumps(payload, indent=2).encode("utf-8"))
         return path
 
     @classmethod
     def load(cls, path: str | Path) -> "DataCatalog":
-        """Load a catalog saved by :meth:`save`."""
+        """Load a catalog saved by :meth:`save`, verifying its digest.
+
+        A file that fails its sidecar check is quarantined
+        (:func:`repro.integrity.quarantine_artifact`) and the load
+        raises :class:`~repro.errors.CatalogError` — unlike cache
+        entries, a catalog has no rebuild-from-source, so the caller
+        must restore from a replica or re-deposit. Files without a
+        sidecar (pre-integrity saves) load unverified.
+        """
         path = Path(path)
         if not path.exists():
             raise CatalogError(f"catalog file not found: {path}")
         try:
-            payload = json.loads(path.read_text())
-        except json.JSONDecodeError as exc:
+            data = read_verified(path)
+        except IntegrityError as exc:
+            quarantined = quarantine_artifact(path, reason=str(exc))
+            raise CatalogError(
+                f"{path}: failed its integrity check ({exc}); "
+                f"quarantined to {quarantined}"
+            ) from exc
+        try:
+            payload = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise CatalogError(f"{path}: invalid JSON: {exc}") from exc
         catalog = cls()
         for item in payload:
+            if not isinstance(item, dict):
+                raise CatalogError(
+                    f"{path}: malformed record: expected an object, "
+                    f"got {type(item).__name__}"
+                )
+            tags = item.get("tags", [])
+            if not isinstance(tags, list) or not all(
+                isinstance(t, str) for t in tags
+            ):
+                # A bare string would silently explode into per-character
+                # tags through frozenset(); reject it loudly instead.
+                raise CatalogError(
+                    f"{path}: malformed record "
+                    f"{item.get('product_id', '?')!r}: tags must be a "
+                    f"list of strings, got {tags!r}"
+                )
+            metadata = item.get("metadata", {})
+            if not isinstance(metadata, dict):
+                raise CatalogError(
+                    f"{path}: malformed record "
+                    f"{item.get('product_id', '?')!r}: metadata must be "
+                    f"an object, got {type(metadata).__name__}"
+                )
             try:
                 catalog.deposit(
                     ProductRecord(
@@ -201,8 +259,8 @@ class DataCatalog:
                         kind=item["kind"],
                         site=item["site"],
                         size_mb=float(item["size_mb"]),
-                        tags=frozenset(item.get("tags", [])),
-                        metadata=item.get("metadata", {}),
+                        tags=frozenset(tags),
+                        metadata=metadata,
                         provenance=item.get("provenance", ""),
                     )
                 )

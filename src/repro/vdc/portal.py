@@ -65,8 +65,11 @@ class Portal:
         pool_config: OSPoolConfig | None = None,
         capacity: CapacityProcess | None = None,
     ) -> None:
-        self.catalog = catalog or DataCatalog()
-        self.storage = storage or FederatedStorage(
+        # Explicit None checks: an empty DataCatalog is falsy (__len__),
+        # so `catalog or DataCatalog()` would silently discard a shared
+        # catalog that happens to have no records yet.
+        self.catalog = catalog if catalog is not None else DataCatalog()
+        self.storage = storage if storage is not None else FederatedStorage(
             [
                 StorageSite("vdc-rutgers"),
                 StorageSite("vdc-psu"),
@@ -77,6 +80,11 @@ class Portal:
         self.capacity = capacity
         self.prefetcher = PrefetchService(self.catalog, self.storage)
         self._runs: dict[str, PortalRun] = {}
+        # Monotonic: run ids must never be reused, even when a launch
+        # fails and leaves no entry in _runs (deriving the id from
+        # len(_runs) made the next launch collide with the failed one's
+        # deposited-then-rolled-back id).
+        self._run_counter = 0
 
     # -- execution -----------------------------------------------------------
 
@@ -95,11 +103,9 @@ class Portal:
         discovery. (Per-rupture granularity lives in
         :class:`~repro.seismo.mudpy_io.ProductArchive`.)
         """
-        run_id = f"run-{len(self._runs):04d}-{config.name}"
-        if run_id in self._runs:
-            raise PortalError(f"duplicate run id {run_id!r}")
         site = deposit_site or next(iter(self.storage.sites))
         self.storage.site(site)  # validate early
+        run_id = self.allocate_run_id(config)
 
         result = run_fdw_batch(
             config,
@@ -117,6 +123,35 @@ class Portal:
             stats=stats,
             n_planned_jobs=plan_phases(config).n_jobs,
         )
+        run.product_ids.extend(
+            self.deposit_products(run_id, config, site=site, user=user)
+        )
+        self._runs[run_id] = run
+        return run
+
+    def allocate_run_id(self, config: FdwConfig) -> str:
+        """Hand out the next run id (monotonic, never reused)."""
+        run_id = f"run-{self._run_counter:04d}-{config.name}"
+        self._run_counter += 1
+        return run_id
+
+    def deposit_products(
+        self,
+        run_id: str,
+        config: FdwConfig,
+        site: str,
+        user: str = "anonymous",
+    ) -> list[str]:
+        """Deposit one run's product set, all-or-nothing.
+
+        Stores bytes and catalog records for the waveform/rupture/GF
+        products of ``run_id``. If any step fails, every replica and
+        record already placed for this run is rolled back before the
+        error propagates — a half-deposited run never leaks orphan
+        storage bytes or catalog entries. Shared by :meth:`launch` and
+        the multi-tenant service layer (:mod:`repro.service`). Returns
+        the deposited product ids.
+        """
         base_tags = {"fdw", "chile", f"user:{user}"}
         waveform_mb = 0.25 * config.n_waveforms  # compressed per-set payloads
         products = [
@@ -124,28 +159,37 @@ class Portal:
             ("ruptures", 0.02 * config.n_waveforms, {"n_ruptures": config.n_waveforms}),
             ("gf_bank", gf_archive_mb(config), {"n_stations": config.n_stations}),
         ]
-        for kind, size_mb, meta in products:
-            product_id = f"{run_id}.{kind}"
-            self.storage.store(product_id, size_mb, site)
-            self.catalog.deposit(
-                ProductRecord(
-                    product_id=product_id,
-                    kind=kind,
-                    site=site,
-                    size_mb=size_mb,
-                    tags=frozenset(base_tags),
-                    metadata={
-                        "mw_min": config.mw_range[0],
-                        "mw_max": config.mw_range[1],
-                        "n_stations": config.n_stations,
-                        **meta,
-                    },
-                    provenance=run_id,
+        stored: list[str] = []
+        deposited: list[str] = []
+        try:
+            for kind, size_mb, meta in products:
+                product_id = f"{run_id}.{kind}"
+                self.storage.store(product_id, size_mb, site)
+                stored.append(product_id)
+                self.catalog.deposit(
+                    ProductRecord(
+                        product_id=product_id,
+                        kind=kind,
+                        site=site,
+                        size_mb=size_mb,
+                        tags=frozenset(base_tags),
+                        metadata={
+                            "mw_min": config.mw_range[0],
+                            "mw_max": config.mw_range[1],
+                            "n_stations": config.n_stations,
+                            **meta,
+                        },
+                        provenance=run_id,
+                    )
                 )
-            )
-            run.product_ids.append(product_id)
-        self._runs[run_id] = run
-        return run
+                deposited.append(product_id)
+        except Exception:
+            for product_id in deposited:
+                self.catalog.withdraw(product_id)
+            for product_id in stored:
+                self.storage.remove(product_id)
+            raise
+        return stored
 
     # -- monitoring ----------------------------------------------------------
 
@@ -182,6 +226,7 @@ class Portal:
                     home_site=home_site,
                     kind=query.get("kind"),  # type: ignore[arg-type]
                     tags=frozenset(query.get("tags") or ()),  # type: ignore[arg-type]
+                    ranges=dict(query.get("ranges") or {}),  # type: ignore[arg-type]
                     metadata={
                         k: v
                         for k, v in query.items()

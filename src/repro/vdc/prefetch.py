@@ -27,11 +27,17 @@ __all__ = ["QueryEvent", "PrefetchService"]
 
 @dataclass(frozen=True)
 class QueryEvent:
-    """One recorded discovery query from a home site."""
+    """One recorded discovery query from a home site.
+
+    ``ranges`` carries the numeric range constraints of the query
+    (``{"mw": (8.0, 9.0)}``) — the most selective query type, which the
+    prefetch scorer would otherwise be blind to.
+    """
 
     home_site: str
     kind: str | None = None
     tags: frozenset[str] = frozenset()
+    ranges: dict = field(default_factory=dict)
     metadata: dict = field(default_factory=dict)
 
 
@@ -90,6 +96,14 @@ class PrefetchService:
                 for key, value in event.metadata.items()
                 if record.metadata.get(key) == value
             )
+            for key, (lo, hi) in event.ranges.items():
+                value = record.metadata.get(key)
+                if (
+                    isinstance(value, (int, float))
+                    and not isinstance(value, bool)
+                    and lo <= value <= hi
+                ):
+                    match += 1.0
             score += weight * match
         return score
 

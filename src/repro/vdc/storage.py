@@ -196,6 +196,28 @@ class FederatedStorage:
         self._replicas[product_id].add(site)
         self._usage_mb[site] += size
 
+    def remove(self, product_id: str) -> None:
+        """Remove a product entirely: every replica plus bookkeeping.
+
+        The rollback primitive for transactional deposits: after a
+        partial deposit fails, the portal calls this so the product id
+        can be stored again on the next attempt (unlike
+        :meth:`drop_replica`, which keeps the id registered). Also
+        forgets any attached bank key — the artifact-cache bytes
+        themselves are left alone, since content-addressed entries may
+        be shared with other producers.
+        """
+        replicas = self._replicas.get(product_id)
+        if replicas is None:
+            raise StorageError(f"unknown product {product_id!r}")
+        touched = set(replicas)
+        del self._replicas[product_id]
+        del self._sizes[product_id]
+        self._bank_keys.pop(product_id, None)
+        self._bank_dtypes.pop(product_id, None)
+        for site in touched:
+            self._recompute_usage(site)
+
     def drop_replica(self, product_id: str, site: str, force: bool = False) -> None:
         """Remove one replica.
 
@@ -215,7 +237,20 @@ class FederatedStorage:
                 f"(at {site!r}); pass force=True to destroy it"
             )
         replicas.remove(site)
-        self._usage_mb[site] -= self._sizes[product_id]
+        self._recompute_usage(site)
+
+    def _recompute_usage(self, site: str) -> None:
+        """Rebuild a site's usage from its replica set.
+
+        Removals recompute instead of decrementing so repeated
+        store/rollback cycles cannot accumulate float residue — an
+        emptied site reads exactly 0.0 MB again.
+        """
+        self._usage_mb[site] = sum(
+            self._sizes[pid]
+            for pid, replicas in self._replicas.items()
+            if site in replicas
+        )
 
     # -- retrieval ------------------------------------------------------------
 

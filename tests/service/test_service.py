@@ -1,0 +1,450 @@
+"""Tests for repro.service — the multi-tenant portal service layer."""
+
+import asyncio
+
+import pytest
+
+from repro.core.config import FdwConfig
+from repro.errors import (
+    BackpressureError,
+    QuotaExceededError,
+    ServiceError,
+)
+from repro.osg.capacity import FixedCapacity
+from repro.service import (
+    PoolRunner,
+    PortalService,
+    RunnerOutcome,
+    ServiceQuota,
+    ServiceStats,
+    SimulatedRunner,
+    VirtualClock,
+    run_service_demo,
+)
+from repro.vdc.portal import Portal
+
+
+class CountingRunner:
+    """Stub backend that counts executions (the exactly-once probe)."""
+
+    name = "stub"
+
+    def __init__(self, elapsed_s=60.0):
+        self.elapsed_s = elapsed_s
+        self.calls = []
+
+    def execute(self, config, seed):
+        self.calls.append((config.name, seed))
+        return RunnerOutcome(
+            backend=self.name,
+            elapsed_s=self.elapsed_s,
+            n_jobs=1,
+            report=f"stub run {config.name}",
+        )
+
+
+class FailingRunner:
+    name = "boom"
+
+    def execute(self, config, seed):
+        raise RuntimeError(f"backend lost {config.name}")
+
+
+def config(name="svc", n_waveforms=8):
+    return FdwConfig(
+        n_waveforms=n_waveforms, n_stations=2, mesh=(8, 5), name=name
+    )
+
+
+# -- coalescing ---------------------------------------------------------------
+
+
+def test_identical_submissions_execute_exactly_once():
+    """Acceptance: N identical concurrent submissions from distinct
+    tenants run once, and every tenant gets byte-identical products."""
+    runner = CountingRunner()
+
+    async def scenario():
+        async with PortalService(Portal(), runner, n_workers=4) as service:
+            tickets = [
+                await service.submit(f"tenant-{i:02d}", config())
+                for i in range(6)
+            ]
+            return [await t for t in tickets]
+
+    results = asyncio.run(scenario())
+    assert len(runner.calls) == 1  # exactly one execution
+    assert results[0].coalesced is False
+    assert all(r.coalesced for r in results[1:])
+    # Byte-identical product sets: same run, same ids, for every tenant.
+    assert len({r.run_id for r in results}) == 1
+    assert len({r.product_ids for r in results}) == 1
+    assert results[0].product_ids
+    # Each result still belongs to its own tenant.
+    assert [r.tenant for r in results] == [f"tenant-{i:02d}" for i in range(6)]
+
+
+def test_different_configs_do_not_coalesce():
+    runner = CountingRunner()
+
+    async def scenario():
+        async with PortalService(Portal(), runner, n_workers=2) as service:
+            a = await service.submit("alice", config("one"))
+            b = await service.submit("alice", config("two"))
+            return await a, await b
+
+    ra, rb = asyncio.run(scenario())
+    assert len(runner.calls) == 2
+    assert ra.run_id != rb.run_id
+    assert set(ra.product_ids).isdisjoint(rb.product_ids)
+
+
+def test_different_seeds_do_not_coalesce():
+    runner = CountingRunner()
+
+    async def scenario():
+        async with PortalService(Portal(), runner, n_workers=2) as service:
+            a = await service.submit("alice", config(), seed=1)
+            b = await service.submit("alice", config(), seed=2)
+            await a, await b
+
+    asyncio.run(scenario())
+    assert len(runner.calls) == 2
+
+
+def test_resubmit_after_completion_reexecutes():
+    """Coalescing only spans queued/running entries: once a run has
+    finished, an identical submission is a fresh execution with a fresh
+    monotonic run id."""
+    runner = CountingRunner()
+
+    async def scenario():
+        async with PortalService(Portal(), runner, n_workers=1) as service:
+            first = await (await service.submit("alice", config()))
+            second = await (await service.submit("alice", config()))
+            return first, second
+
+    first, second = asyncio.run(scenario())
+    assert len(runner.calls) == 2
+    assert first.run_id != second.run_id
+    assert second.coalesced is False
+
+
+# -- fair share ---------------------------------------------------------------
+
+
+def test_fair_share_interleaves_unequal_tenants():
+    """Acceptance: with one worker and a heavy plus a light tenant, the
+    queue trace shows starts interleaving, not heavy-then-light."""
+    runner = CountingRunner()
+
+    async def scenario():
+        async with PortalService(Portal(), runner, n_workers=1) as service:
+            tickets = []
+            for i in range(4):
+                tickets.append(
+                    await service.submit("heavy", config(f"h{i}"))
+                )
+            for i in range(2):
+                tickets.append(
+                    await service.submit("light", config(f"l{i}"))
+                )
+            for t in tickets:
+                await t
+            return service.queue_trace()
+
+    trace = asyncio.run(scenario())
+    starts = [e.tenant for e in trace if e.event == "start"]
+    assert len(starts) == 6
+    # Round-robin across tenants while both have queued work, then the
+    # heavy tenant's backlog drains.
+    assert starts == ["heavy", "light", "heavy", "light", "heavy", "heavy"]
+
+
+def test_trace_records_all_lifecycle_events():
+    runner = CountingRunner()
+
+    async def scenario():
+        async with PortalService(Portal(), runner, n_workers=1) as service:
+            await (await service.submit("alice", config()))
+            return service.queue_trace()
+
+    trace = asyncio.run(scenario())
+    assert [e.event for e in trace] == ["submit", "start", "finish"]
+    assert [e.seq for e in trace] == [0, 1, 2]
+    assert trace[-1].time >= trace[0].time
+
+
+# -- quotas and backpressure --------------------------------------------------
+
+
+def test_quota_rejects_over_pending_cap():
+    runner = CountingRunner()
+    quota = ServiceQuota(max_pending_per_tenant=1, max_queue_depth=64)
+
+    async def scenario():
+        async with PortalService(
+            Portal(), runner, n_workers=1, quota=quota
+        ) as service:
+            first = await service.submit("alice", config("one"))
+            with pytest.raises(QuotaExceededError) as excinfo:
+                await service.submit("alice", config("two"))
+            assert excinfo.value.retryable is False
+            assert "alice" in str(excinfo.value)
+            # Another tenant is unaffected by alice's quota.
+            other = await service.submit("bob", config("three"))
+            await first, await other
+            # Once alice's ticket resolved, she can submit again.
+            await (await service.submit("alice", config("two")))
+            return service.stats
+
+    stats = asyncio.run(scenario())
+    assert stats.n_quota_rejected == 1
+    assert stats.n_executed == 3
+
+
+def test_backpressure_rejects_full_queue():
+    runner = CountingRunner()
+    quota = ServiceQuota(max_pending_per_tenant=100, max_queue_depth=1)
+
+    async def scenario():
+        async with PortalService(
+            Portal(), runner, n_workers=1, quota=quota
+        ) as service:
+            first = await service.submit("alice", config("one"))
+            with pytest.raises(BackpressureError) as excinfo:
+                await service.submit("bob", config("two"))
+            assert excinfo.value.retryable is True
+            # A coalesced subscription never consumes a queue slot.
+            joined = await service.submit("carol", config("one"))
+            await first, await joined
+            # After the drain the queue has room again.
+            await (await service.submit("bob", config("two")))
+            return service.stats
+
+    stats = asyncio.run(scenario())
+    assert stats.n_backpressure_rejected == 1
+    assert stats.n_coalesced == 1
+
+
+def test_quota_validation():
+    with pytest.raises(ServiceError):
+        ServiceQuota(max_pending_per_tenant=0)
+    with pytest.raises(ServiceError):
+        ServiceQuota(max_queue_depth=0)
+
+
+# -- failure handling ---------------------------------------------------------
+
+
+def test_failure_propagates_to_all_subscribers():
+    async def scenario():
+        async with PortalService(
+            Portal(), FailingRunner(), n_workers=1
+        ) as service:
+            a = await service.submit("alice", config())
+            b = await service.submit("bob", config())
+            with pytest.raises(RuntimeError, match="backend lost"):
+                await a
+            with pytest.raises(RuntimeError, match="backend lost"):
+                await b
+            return service.stats, service.queue_trace()
+
+    stats, trace = asyncio.run(scenario())
+    assert stats.n_failed == 1
+    assert stats.n_executed == 0
+    assert [e.event for e in trace] == ["submit", "coalesce", "start", "fail"]
+
+
+def test_failed_entry_leaves_no_products():
+    portal = Portal()
+
+    async def scenario():
+        async with PortalService(portal, FailingRunner(), n_workers=1) as service:
+            with pytest.raises(RuntimeError):
+                await (await service.submit("alice", config()))
+            return service.runs()
+
+    runs = asyncio.run(scenario())
+    assert runs == []
+    assert len(portal.catalog) == 0
+
+
+def test_close_fails_outstanding_tickets():
+    async def scenario():
+        service = PortalService(Portal(), CountingRunner(), n_workers=1)
+        async with service:
+            ticket = await service.submit("alice", config())
+            await service.aclose()
+            with pytest.raises(ServiceError, match="closed"):
+                await ticket
+            with pytest.raises(ServiceError, match="closed"):
+                await service.submit("alice", config("late"))
+
+    asyncio.run(scenario())
+
+
+def test_subscriber_cancellation_does_not_kill_shared_run():
+    runner = CountingRunner()
+
+    async def scenario():
+        async with PortalService(Portal(), runner, n_workers=1) as service:
+            a = await service.submit("alice", config())
+            b = await service.submit("bob", config())
+            waiter = asyncio.ensure_future(a.result())
+            await asyncio.sleep(0)
+            waiter.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await waiter
+            # Bob's ticket still resolves off the shared execution.
+            result = await b
+            return result
+
+    result = asyncio.run(scenario())
+    assert result.product_ids
+    assert len(runner.calls) == 1
+
+
+# -- determinism --------------------------------------------------------------
+
+
+def test_demo_deterministic_under_seed():
+    """Acceptance: same seed, same submission trace -> same placement,
+    timestamps, run ids, and products."""
+    kwargs = dict(n_tenants=3, n_submissions=12, n_distinct=3, seed=42, n_workers=2)
+    first = run_service_demo(**kwargs)
+    second = run_service_demo(**kwargs)
+    assert first.trace == second.trace
+    assert first.summary() == second.summary()
+    assert [r.run_id for r in first.results] == [r.run_id for r in second.results]
+    assert [r.product_ids for r in first.results] == [
+        r.product_ids for r in second.results
+    ]
+
+
+def test_demo_seed_changes_trace():
+    base = dict(n_tenants=3, n_submissions=12, n_distinct=3, n_workers=2)
+    assert (
+        run_service_demo(seed=1, **base).trace
+        != run_service_demo(seed=2, **base).trace
+    )
+
+
+def test_demo_report_accounting():
+    report = run_service_demo(
+        n_tenants=4, n_submissions=24, n_distinct=2, seed=9, n_workers=2
+    )
+    stats = report.stats
+    assert stats.n_submitted == 24
+    assert stats.n_executed + stats.n_coalesced == 24
+    assert stats.n_executed < 24  # shared scenarios must coalesce
+    assert len(report.results) == 24
+    assert sum(report.starts_by_tenant().values()) == stats.n_executed
+    assert "coalescing hit rate" in report.summary()
+
+
+def test_demo_validation():
+    with pytest.raises(ServiceError):
+        run_service_demo(n_tenants=0)
+
+
+# -- virtual clock and waits --------------------------------------------------
+
+
+def test_virtual_clock_monotonic():
+    clock = VirtualClock()
+    assert clock.now() == 0.0
+    clock.advance_to(5.0)
+    assert clock.now() == 5.0
+    with pytest.raises(ServiceError):
+        clock.advance_to(4.0)
+
+
+def test_queue_waits_follow_virtual_time():
+    """With one worker and fixed 60s executions, the k-th distinct
+    submission waits exactly k*60 virtual seconds."""
+    runner = CountingRunner(elapsed_s=60.0)
+
+    async def scenario():
+        async with PortalService(Portal(), runner, n_workers=1) as service:
+            tickets = [
+                await service.submit("alice", config(f"c{i}")) for i in range(3)
+            ]
+            return [await t for t in tickets]
+
+    results = asyncio.run(scenario())
+    assert [r.queue_wait_s for r in results] == [0.0, 60.0, 120.0]
+    assert [r.turnaround_s for r in results] == [60.0, 120.0, 180.0]
+
+
+def test_stats_percentiles():
+    stats = ServiceStats(queue_waits_s=[0.0, 10.0, 20.0, 30.0, 100.0])
+    assert stats.wait_percentile(0) == 0.0
+    assert stats.wait_percentile(50) == 20.0
+    assert stats.wait_percentile(100) == 100.0
+    with pytest.raises(ServiceError):
+        stats.wait_percentile(101)
+    assert ServiceStats().wait_percentile(99) == 0.0
+
+
+def test_service_validation():
+    with pytest.raises(ServiceError):
+        PortalService(n_workers=0)
+
+    async def bad_tenant():
+        async with PortalService(Portal(), CountingRunner()) as service:
+            with pytest.raises(ServiceError):
+                await service.submit("", config())
+
+    asyncio.run(bad_tenant())
+
+
+# -- portal integration -------------------------------------------------------
+
+
+def test_service_deposit_matches_direct_launch():
+    """A service-run submission deposits the same catalog records a
+    direct Portal.launch produces on a fresh portal."""
+    cfg = config("par")
+    direct = Portal(capacity=FixedCapacity(8))
+    run = direct.launch(cfg, user="alice", seed=0)
+
+    portal = Portal(capacity=FixedCapacity(8))
+
+    async def scenario():
+        service = PortalService(
+            portal,
+            PoolRunner(capacity=portal.capacity),
+            n_workers=1,
+        )
+        async with service:
+            return await (await service.submit("alice", cfg, seed=0))
+
+    result = asyncio.run(scenario())
+    assert result.run_id == run.run_id
+    assert result.product_ids == tuple(run.product_ids)
+    for pid in run.product_ids:
+        assert portal.catalog.get(pid) == direct.catalog.get(pid)
+    assert result.backend == "pool"
+    assert "jobs/min" in result.report
+
+
+def test_async_results_api():
+    portal = Portal()
+
+    async def scenario():
+        async with PortalService(
+            portal, CountingRunner(), n_workers=1
+        ) as service:
+            result = await (await service.submit("alice", config()))
+            hits = await service.discover(
+                home_site="vdc-psu", kind="waveforms", tags={"fdw"}
+            )
+            assert [r.product_id for r in hits] == [result.product_ids[0]]
+            elapsed = await service.retrieve(result.product_ids[0], "vdc-psu")
+            assert elapsed > 0
+            # The discovery above landed in the prefetch trace.
+            assert portal.prefetcher.trace_for("vdc-psu")
+            assert service.runs() == [result.run_id]
+
+    asyncio.run(scenario())

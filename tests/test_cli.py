@@ -188,3 +188,42 @@ def test_gf_dtype_choices_enforced(config_path):
         build_parser().parse_args(
             ["run", str(config_path), "--gf-dtype", "float16"]
         )
+
+
+def test_serve_demo(capsys):
+    assert (
+        main(
+            [
+                "serve",
+                "--tenants",
+                "3",
+                "--submissions",
+                "12",
+                "--distinct",
+                "2",
+                "--seed",
+                "5",
+                "--workers",
+                "2",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "portal service demo (seed 5, backend 'sim')" in out
+    assert "coalescing hit rate" in out
+    assert "queue wait p50" in out
+    assert "executions started per tenant:" in out
+
+
+def test_serve_deterministic(capsys):
+    args = ["serve", "--tenants", "2", "--submissions", "8", "--seed", "1"]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert main(args) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_serve_backend_choices_enforced():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["serve", "--backend", "cloud"])

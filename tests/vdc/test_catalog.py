@@ -154,3 +154,97 @@ def test_load_malformed_record(tmp_path):
     path.write_text('[{"product_id": "x"}]')
     with pytest.raises(CatalogError):
         DataCatalog.load(path)
+
+
+def test_search_range_excludes_bool():
+    """Regression: True/False metadata must never hit a numeric range
+    (bool is an int subclass, so 0.0 <= True <= 10.0 used to match)."""
+    catalog = DataCatalog()
+    catalog.deposit(record("a.1", validated=True))
+    catalog.deposit(record("a.2", validated=1))
+    hits = catalog.search(ranges={"validated": (0.0, 10.0)})
+    assert [r.product_id for r in hits] == ["a.2"]
+
+
+def test_save_writes_sha256_sidecar(tmp_path):
+    from repro.integrity import digest_path, sha256_bytes
+
+    path = DataCatalog().save(tmp_path / "catalog.json")
+    side = digest_path(path)
+    assert side.exists()
+    assert sha256_bytes(path.read_bytes()) in side.read_text()
+    # No temp droppings from the atomic write.
+    assert sorted(p.name for p in tmp_path.iterdir()) == [
+        "catalog.json",
+        "catalog.json.sha256",
+    ]
+
+
+def test_load_quarantines_corrupt_catalog(tmp_path):
+    """Regression: a catalog whose bytes no longer match its sidecar is
+    quarantined and the load fails loudly, instead of parsing (or
+    crashing on) torn records."""
+    catalog = DataCatalog()
+    catalog.deposit(record("a.1"))
+    path = catalog.save(tmp_path / "catalog.json")
+    path.write_text(path.read_text()[:-20])  # torn write
+    with pytest.raises(CatalogError, match="integrity"):
+        DataCatalog.load(path)
+    assert not path.exists()  # moved aside, never served again
+    quarantined = list((tmp_path / "quarantine").iterdir())
+    assert any(p.name.startswith("catalog.json") for p in quarantined)
+
+
+def test_load_rejects_string_tags(tmp_path):
+    """Regression: a bare-string ``tags`` used to explode into
+    per-character tags through frozenset(); now it is a clear error."""
+    import json
+
+    from repro.integrity import write_artifact
+
+    payload = [
+        {
+            "product_id": "a.1",
+            "kind": "waveforms",
+            "site": "s",
+            "size_mb": 1.0,
+            "tags": "chile",
+            "metadata": {},
+        }
+    ]
+    path = tmp_path / "catalog.json"
+    write_artifact(path, json.dumps(payload).encode())
+    with pytest.raises(CatalogError, match="tags must be a list"):
+        DataCatalog.load(path)
+
+
+def test_load_rejects_non_dict_metadata(tmp_path):
+    import json
+
+    from repro.integrity import write_artifact
+
+    payload = [
+        {
+            "product_id": "a.1",
+            "kind": "waveforms",
+            "site": "s",
+            "size_mb": 1.0,
+            "tags": [],
+            "metadata": [["mw", 8.0]],
+        }
+    ]
+    path = tmp_path / "catalog.json"
+    write_artifact(path, json.dumps(payload).encode())
+    with pytest.raises(CatalogError, match="metadata must be an object"):
+        DataCatalog.load(path)
+
+
+def test_load_rejects_non_object_record(tmp_path):
+    import json
+
+    from repro.integrity import write_artifact
+
+    path = tmp_path / "catalog.json"
+    write_artifact(path, json.dumps(["not-a-record"]).encode())
+    with pytest.raises(CatalogError, match="expected an object"):
+        DataCatalog.load(path)

@@ -95,3 +95,70 @@ def test_second_user_discovers_first_users_data(portal_with_run):
     assert hits
     elapsed = portal.retrieve(hits[0].product_id, "vdc-psu")
     assert elapsed > 0
+
+
+class _FlakyCatalog:
+    """DataCatalog whose deposit fails once, on the gf_bank product."""
+
+    def __init__(self):
+        from repro.vdc.catalog import DataCatalog
+
+        self._inner = DataCatalog()
+        self.fail_next = True
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def __len__(self):
+        return len(self._inner)
+
+    def deposit(self, record):
+        from repro.errors import CatalogError
+
+        if self.fail_next and record.kind == "gf_bank":
+            self.fail_next = False
+            raise CatalogError("catalog store unavailable")
+        self._inner.deposit(record)
+
+
+def test_failed_launch_rolls_back_all_deposits():
+    """Regression: a launch that dies mid-deposit used to leak the
+    already-placed replicas and records, and the next launch collided
+    with the dead run's id (derived from len(_runs))."""
+    from repro.errors import CatalogError
+
+    catalog = _FlakyCatalog()
+    portal = Portal(catalog=catalog, capacity=FixedCapacity(8))
+    config = FdwConfig(n_waveforms=8, n_stations=2, mesh=(8, 5), name="txn")
+
+    with pytest.raises(CatalogError, match="unavailable"):
+        portal.launch(config, user="alice", seed=1)
+
+    # All-or-nothing: no orphan records, no orphan bytes, no run entry.
+    assert len(catalog) == 0
+    assert portal.runs() == []
+    for site in portal.storage.sites:
+        assert portal.storage.usage_mb(site) == 0.0
+
+    # The failed launch burned run-0000; the retry gets a fresh id and
+    # succeeds end to end.
+    run = portal.launch(config, user="alice", seed=1)
+    assert run.run_id == "run-0001-txn"
+    assert run.succeeded
+    assert len(run.product_ids) == 3
+    for pid in run.product_ids:
+        assert catalog.get(pid).provenance == run.run_id
+
+
+def test_fault_free_run_ids_sequential():
+    """Fault-free behavior is unchanged by the monotonic counter: ids
+    count up from run-0000 exactly as the len()-derived ones did."""
+    portal = Portal(capacity=FixedCapacity(8))
+    ids = [
+        portal.launch(
+            FdwConfig(n_waveforms=8, n_stations=2, mesh=(8, 5), name=f"s{i}"),
+            seed=i,
+        ).run_id
+        for i in range(3)
+    ]
+    assert ids == ["run-0000-s0", "run-0001-s1", "run-0002-s2"]

@@ -123,6 +123,45 @@ def test_portal_records_queries_and_prefetches():
     assert fast < 1.0
 
 
+def test_range_queries_score_in_range_products(services):
+    """Regression: range constraints — the most selective query type —
+    used to be dropped on the floor by the scorer; a site querying
+    mw in [8.3, 9.0] must get the in-range product predicted first."""
+    _, _, svc = services
+    svc.record_query(QueryEvent(home_site="home", ranges={"mw": (8.3, 9.0)}))
+    predictions = svc.predict("home", top=2)
+    assert predictions
+    assert predictions[0].product_id == "p.1"  # mw=8.5, the only in-range hit
+
+
+def test_range_scoring_skips_bool_metadata(services):
+    catalog, _, svc = services
+    catalog.annotate("p.0", flagged=True)
+    catalog.annotate("p.1", flagged=1)
+    svc.record_query(QueryEvent(home_site="home", ranges={"flagged": (0.0, 2.0)}))
+    predictions = svc.predict("home", top=2)
+    assert [p.product_id for p in predictions] == ["p.1"]
+
+
+def test_portal_discover_records_ranges():
+    """Regression: Portal.discover forwarded ranges to the catalog but
+    recorded a QueryEvent without them, blinding the prefetcher."""
+    from repro.core.config import FdwConfig
+    from repro.osg.capacity import FixedCapacity
+    from repro.vdc.portal import Portal
+
+    portal = Portal(capacity=FixedCapacity(8))
+    config = FdwConfig(n_waveforms=8, n_stations=3, mesh=(8, 5), name="rg")
+    run = portal.launch(config, user="alice", seed=4)
+    portal.discover(
+        home_site="vdc-psu", kind="waveforms", ranges={"n_waveforms": (4, 16)}
+    )
+    trace = portal.prefetcher.trace_for("vdc-psu")
+    assert trace[-1].ranges == {"n_waveforms": (4, 16)}
+    placed = portal.prefetcher.prefetch("vdc-psu", top=1)
+    assert placed == [next(p for p in run.product_ids if "waveforms" in p)]
+
+
 def test_prefetch_materializes_bank_products(tmp_path, small_gf_bank):
     """A predicted GF bank is not just replica-marked: its bytes land in
     the artifact cache's disk store (the durable prefetch)."""

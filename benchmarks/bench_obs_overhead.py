@@ -1,0 +1,129 @@
+"""Observability overhead budget (the ``obs-overhead`` group).
+
+The obs subsystem's whole contract is that it is safe to leave the
+instrumentation sites in every hot path:
+
+* **Disabled, the hooks are a no-op** — one global load and a ``None``
+  check per site. ``test_disabled_pool_replay`` archives the
+  un-observed baseline.
+* **Enabled, a fully observed pool replay must stay under 5% overhead**
+  (counters per negotiation cycle, per-DAGMan spans, vectorized
+  wait/exec histograms, transfer byte counters).
+  ``test_enabled_overhead_budget`` measures both arms inline (median of
+  per-pair ratios over interleaved rounds, medianed again across
+  independent blocks) so the assertion holds inside one test run, then
+  puts the observed arm's full distribution through the ``benchmark``
+  fixture with the measured overhead in ``extra_info``.
+
+Run: ``PYTHONPATH=src pytest benchmarks/bench_obs_overhead.py -q
+--benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import pytest
+
+from _common import bench_scale
+from repro import obs
+from repro.condor.dagman import DagmanOptions
+from repro.osg.capacity import FixedCapacity
+from repro.osg.negotiator import NegotiatorConfig
+from repro.osg.pool import OSPoolConfig
+from repro.wf import generate_instance, import_instance, load_instance, replay_instance
+
+#: Tasks in the replayed instance: large enough that one replay takes a
+#: measurable fraction of a second (timing noise well under the 5%
+#: budget), small enough for the CI smoke run.
+N_TASKS = max(1_000, round(10_000 * bench_scale()))
+POOL_SLOTS = 500
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    path = Path(__file__).resolve().parents[1] / "examples" / "fdw64_wfformat.json"
+    return import_instance(generate_instance(load_instance(path), N_TASKS, seed=3))
+
+
+def replay_once(workflow):
+    result = replay_instance(
+        workflow,
+        seed=0,
+        runtime="model",
+        config=OSPoolConfig(
+            negotiator=NegotiatorConfig(cycle_s=60.0, match_limit_per_cycle=POOL_SLOTS)
+        ),
+        capacity=FixedCapacity(POOL_SLOTS),
+        options=DagmanOptions(max_idle=0, submit_batch=N_TASKS),
+    )
+    assert len(result.metrics.records) >= N_TASKS
+    return result
+
+
+def observed_replay(workflow):
+    with obs.observe() as session:
+        result = replay_once(workflow)
+    # The observed arm must actually have observed something.
+    assert session.registry.counter_total("repro_pool_negotiation_cycles_total") > 0
+    assert any(ev.phase == "X" for ev in session.tracer.events)
+    return result
+
+
+def _overhead_block(workflow, rounds=9):
+    """One block's enabled-over-disabled overhead estimate.
+
+    The arms are sampled alternately and compared *pairwise*: each
+    round's baseline and observed replay run back to back, so slow
+    machine-state drift (turbo, cache warmth, noisy neighbours) hits
+    both sides of a ratio equally, and the median over the block's
+    per-pair ratios discards rounds where a scheduling spike hit one
+    side only.
+    """
+    ratios = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        replay_once(workflow)
+        base = time.perf_counter() - start
+        start = time.perf_counter()
+        observed_replay(workflow)
+        ratios.append((time.perf_counter() - start) / base)
+    ratios.sort()
+    return ratios[len(ratios) // 2] - 1.0
+
+
+def _measured_overhead(workflow, blocks=3):
+    """Median overhead across independent measurement blocks.
+
+    A single block is still vulnerable to noise bursts that outlast
+    it; blocks run seconds apart, so their errors decorrelate and the
+    median across them is stable even on a heavily shared box.
+    """
+    return sorted(_overhead_block(workflow) for _ in range(blocks))[blocks // 2]
+
+
+@pytest.mark.benchmark(group="obs-overhead")
+def test_disabled_pool_replay(benchmark, workflow):
+    """Baseline arm: the replay with no observation session installed."""
+    assert not obs.enabled()
+    result = benchmark(replay_once, workflow)
+    benchmark.extra_info["n_tasks"] = N_TASKS
+    benchmark.extra_info["n_records"] = len(result.metrics.records)
+
+
+@pytest.mark.benchmark(group="obs-overhead")
+def test_enabled_overhead_budget(benchmark, workflow):
+    """Observed arm + acceptance: full instrumentation costs < 5%."""
+    overhead = _measured_overhead(workflow)
+    if overhead >= 0.05:
+        # One full re-measure before declaring a regression: a CI noise
+        # episode must not fail the budget, a real hot-path regression
+        # will fail both measurements.
+        overhead = _measured_overhead(workflow)
+
+    benchmark(observed_replay, workflow)
+
+    benchmark.extra_info["n_tasks"] = N_TASKS
+    benchmark.extra_info["obs_overhead_pct"] = round(overhead * 100.0, 3)
+    assert overhead < 0.05

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.errors import TraceError
 from repro.bursting.simulator import BurstingResult
+from repro.obs.stats import percentiles
 from repro.units import format_duration
 
 __all__ = ["render_report", "write_throughput_csv", "read_throughput_csv"]
@@ -37,6 +38,9 @@ def render_report(result: BurstingResult) -> str:
         f"average instant throughput: "
         f"{result.average_instant_throughput_jpm:.2f} jobs/min "
         f"(max {float(np.max(series)):.2f}, min {float(np.min(series)):.2f})",
+        "throughput percentiles: p50={:.2f}, p99={:.2f} jobs/min".format(
+            *percentiles(series, (50.0, 99.0))
+        ),
         f"cloud time: {result.cloud_seconds / 60.0:.1f} minutes, "
         f"cost ${result.cost_usd:.2f}",
     ]

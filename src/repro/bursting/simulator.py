@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.errors import PolicyError, TraceError
 from repro.bursting.cloud import CloudJobModel
 from repro.bursting.policies import BurstingPolicy, BurstRequest
@@ -323,9 +324,37 @@ class BurstingSimulator:
                 duration = self.cloud.duration_s(job.phase)
                 cloud_seconds += duration
                 heapq.heappush(state.vdc_heap, now + duration)
+                if obs.enabled():
+                    # Provision -> terminate in the replay's virtual
+                    # clock: the burst span starts the second the policy
+                    # fires and ends at the constant VDC phase time.
+                    obs.complete(
+                        f"burst:{job.node}",
+                        ts=now,
+                        dur=duration,
+                        category="bursting",
+                        track=f"vdc:{request.policy}",
+                        args={"phase": job.phase, "policy": request.policy},
+                    )
+                    obs.counter_add(
+                        "repro_burst_jobs_total", 1, {"policy": request.policy}
+                    )
+                    obs.counter_add(
+                        "repro_burst_cloud_seconds_total",
+                        duration,
+                        {"policy": request.policy},
+                    )
                 if n_bursted >= max_bursts:
                     break
 
+        cost_usd = self.cloud.cost_usd(cloud_seconds)
+        if obs.enabled():
+            obs.counter_add(
+                "repro_burst_cost_usd_total", cost_usd, {"batch": self.trace.dagman}
+            )
+            obs.gauge_set(
+                "repro_burst_makespan_seconds", now, {"batch": self.trace.dagman}
+            )
         return BurstingResult(
             batch=self.trace.dagman,
             runtime_s=now,
@@ -334,6 +363,6 @@ class BurstingSimulator:
             n_bursted=n_bursted,
             bursts_by_policy=bursts_by_policy,
             cloud_seconds=cloud_seconds,
-            cost_usd=self.cloud.cost_usd(cloud_seconds),
+            cost_usd=cost_usd,
             throughput_series_jpm=np.asarray(series),
         )

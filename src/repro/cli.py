@@ -73,6 +73,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --local: resume a checkpointed run, skipping done chunks",
     )
     p_run.add_argument(
+        "--trace", type=Path, default=None, metavar="PATH",
+        help="observe the run: write a Chrome trace_event JSON here plus a "
+        "Prometheus metrics snapshot next to it (.prom)",
+    )
+    p_run.add_argument(
         "--gf-dtype", choices=("float64", "float32"), default=None,
         help="override the config's GF-bank precision; float32 halves bank "
         "bytes at ~1e-7 relative waveform error (banks are cache-keyed by "
@@ -169,6 +174,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-dir", type=Path, default=None,
         help="write each DAGMan's batch/jobs bursting CSVs here",
     )
+    p_wfr.add_argument(
+        "--trace", type=Path, default=None, metavar="PATH",
+        help="observe the replay: write a Chrome trace_event JSON here plus "
+        "a Prometheus metrics snapshot next to it (.prom); the simulator's "
+        "virtual timestamps make the trace byte-identical per seed",
+    )
 
     p_chaos = sub.add_parser(
         "chaos",
@@ -211,6 +222,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=("sim", "pool", "burst", "local"), default="sim",
         help="execution backend behind the service (default: virtual-cost sim; "
         "'pool'/'burst'/'local' run the real simulators per distinct scenario)",
+    )
+    p_serve.add_argument(
+        "--trace", type=Path, default=None, metavar="PATH",
+        help="observe the session: write a Chrome trace_event JSON here — one "
+        "merged per-tenant timeline from the service's queue trace — plus a "
+        "Prometheus metrics snapshot next to it (.prom)",
+    )
+
+    p_obs = sub.add_parser("obs", help="observability tooling")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_obs_sum = obs_sub.add_parser(
+        "summary",
+        help="render a terminal digest of an exported trace and/or metrics "
+        "snapshot (spans, markers, counters, histogram shapes)",
+    )
+    p_obs_sum.add_argument(
+        "trace_json", type=Path, nargs="?", default=None,
+        help="Chrome trace JSON written by a --trace run",
+    )
+    p_obs_sum.add_argument(
+        "--metrics", type=Path, default=None,
+        help="Prometheus text snapshot (defaults to the trace's .prom sibling "
+        "when that file exists)",
     )
 
     p_fig = sub.add_parser("figures", help="regenerate the paper-figure CSVs")
@@ -523,8 +557,43 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         n_waveforms=args.waveforms,
         runner=runners[args.backend](),
     )
+    from repro import obs
+
+    if obs.enabled():
+        # Convert the service's audit trace into the merged per-tenant
+        # timeline (the service emits only metrics live; see
+        # repro.obs.export.service_timeline).
+        from repro.obs.export import service_timeline
+
+        service_timeline(
+            report.trace, report.results, tracer=obs.session().tracer
+        )
     print(report.summary())
     return 0
+
+
+def _cmd_obs_summary(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.export import render_summary
+
+    trace_doc = None
+    if args.trace_json is not None:
+        trace_doc = json.loads(args.trace_json.read_text())
+    metrics_path = args.metrics
+    if metrics_path is None and args.trace_json is not None:
+        sibling = args.trace_json.with_suffix(".prom")
+        if sibling.exists():
+            metrics_path = sibling
+    metrics_text = (
+        metrics_path.read_text() if metrics_path is not None else None
+    )
+    print(render_summary(trace_doc, metrics_text), end="")
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    return {"summary": _cmd_obs_summary}[args.obs_command](args)
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -546,8 +615,24 @@ _COMMANDS = {
     "wf": _cmd_wf,
     "chaos": _cmd_chaos,
     "serve": _cmd_serve,
+    "obs": _cmd_obs,
     "figures": _cmd_figures,
 }
+
+
+def _run_observed(args: argparse.Namespace, trace_path: Path) -> int:
+    """Run one command under an observation session and export it."""
+    from repro import obs
+    from repro.obs.export import dump_chrome_trace, prometheus_text
+
+    with obs.observe() as session:
+        code = _COMMANDS[args.command](args)
+    trace_path.parent.mkdir(parents=True, exist_ok=True)
+    trace_path.write_text(dump_chrome_trace(session.tracer))
+    prom_path = trace_path.with_suffix(".prom")
+    prom_path.write_text(prometheus_text(session.registry))
+    print(f"wrote trace {trace_path} and metrics {prom_path}")
+    return code
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -555,6 +640,9 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        trace_path = getattr(args, "trace", None)
+        if trace_path is not None:
+            return _run_observed(args, trace_path)
         return _COMMANDS[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

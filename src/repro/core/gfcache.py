@@ -40,6 +40,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.errors import CacheError, IntegrityError, ReproError
 from repro.integrity import (
     quarantine_artifact,
@@ -141,6 +142,21 @@ class GFCacheStats:
         return self.hits + self.misses
 
 
+def _observe_lookup(cache: str, outcome: str, bank) -> None:
+    """Emit one cache lookup into the obs registry (no-op when disabled)."""
+    if not obs.enabled():
+        return
+    obs.counter_add(
+        "repro_cache_lookups_total", 1, {"cache": cache, "outcome": outcome}
+    )
+    if bank is not None:
+        obs.counter_add(
+            "repro_cache_bytes_total",
+            bank.statics.nbytes + bank.travel_time_s.nbytes,
+            {"cache": cache, "event": "hit"},
+        )
+
+
 class GFCache:
     """Two-level (memory LRU + disk ``.npz``) Green's-function bank cache.
 
@@ -208,6 +224,7 @@ class GFCache:
         if bank is not None:
             self._memory.move_to_end(key)
             self.stats.memory_hits += 1
+            _observe_lookup("gf", "memory_hit", bank)
             return bank
         path = self.disk_path(key)
         if path is not None and path.exists():
@@ -218,8 +235,10 @@ class GFCache:
             else:
                 self._remember(key, bank)
                 self.stats.disk_hits += 1
+                _observe_lookup("gf", "disk_hit", bank)
                 return bank
         self.stats.misses += 1
+        _observe_lookup("gf", "miss", None)
         return None
 
     def _load_disk(self, path: Path) -> GreensFunctionBank:
@@ -244,6 +263,9 @@ class GFCache:
 
     def _quarantine(self, path: Path, exc: IntegrityError) -> None:
         self.stats.integrity_failures += 1
+        obs.counter_add(
+            "repro_cache_integrity_failures_total", 1, {"cache": "gf"}
+        )
         self.quarantined.append(quarantine_artifact(path, reason=str(exc)))
 
     def put(self, key: str, bank: GreensFunctionBank) -> None:
@@ -253,6 +275,13 @@ class GFCache:
         self._remember(key, bank)
         self.ensure_on_disk(key)
         self.stats.stores += 1
+        if obs.enabled():
+            obs.counter_add("repro_cache_stores_total", 1, {"cache": "gf"})
+            obs.counter_add(
+                "repro_cache_bytes_total",
+                bank.statics.nbytes + bank.travel_time_s.nbytes,
+                {"cache": "gf", "event": "store"},
+            )
 
     def _remember(self, key: str, bank: GreensFunctionBank) -> None:
         self._memory[key] = bank

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from multiprocessing import resource_tracker
 from pathlib import Path
 
+from repro import obs
 from repro.errors import ConfigError
 from repro.resilience import RetryPolicy, retry_call
 from repro.core.checkpoint import RunCheckpoint
@@ -345,6 +346,11 @@ class LocalRunner:
         t0 = time.perf_counter()
         fq.phase_a_distances()
         timings["dist"] = time.perf_counter() - t0
+        # Phase spans carry wall time; ``ts`` is the perf_counter origin
+        # the tracer's default clock also uses, so runner spans line up
+        # with any surrounding obs.span() blocks on the same timeline.
+        obs.complete("phase:dist", ts=t0, dur=timings["dist"],
+                     category="local", track="runner")
 
         retries = {"A": 0, "C": 0}
         backoff_s = [0.0]
@@ -366,6 +372,13 @@ class LocalRunner:
             def on_retry(_attempt, _exc, delay):
                 retries[phase] += 1
                 backoff_s[0] += delay
+                if obs.enabled():
+                    obs.counter_add(
+                        "repro_local_chunk_retries_total", 1, {"phase": phase}
+                    )
+                    obs.counter_add(
+                        "repro_local_retry_backoff_seconds_total", delay
+                    )
                 if resubmit is not None:
                     resubmit()
 
@@ -386,6 +399,10 @@ class LocalRunner:
             if chunk is not None:
                 chunks_a[i] = chunk
                 skipped["A"] += 1
+                obs.counter_add(
+                    "repro_local_chunks_total", 1,
+                    {"phase": "A", "outcome": "skipped"},
+                )
             else:
                 pending_a.append(i)
 
@@ -394,6 +411,10 @@ class LocalRunner:
             if ckpt is not None:
                 ckpt.store_a_chunk(index, chunk)
             executed["A"] += 1
+            obs.counter_add(
+                "repro_local_chunks_total", 1,
+                {"phase": "A", "outcome": "executed"},
+            )
             if faults is not None:
                 faults.chunk_completed("A")
 
@@ -443,10 +464,15 @@ class LocalRunner:
                     )
         ruptures: list[Rupture] = [r for chunk in chunks_a for r in chunk]
         timings["A"] = time.perf_counter() - t0
+        obs.complete("phase:A", ts=t0, dur=timings["A"],
+                     category="local", track="runner",
+                     args={"executed": executed["A"], "skipped": skipped["A"]})
 
         t0 = time.perf_counter()
         fq.phase_b_greens_functions()
         timings["B"] = time.perf_counter() - t0
+        obs.complete("phase:B", ts=t0, dur=timings["B"],
+                     category="local", track="runner")
 
         t0 = time.perf_counter()
         rows_by_chunk: list[list[tuple[str, float, float, "str | None"]]] = [
@@ -458,6 +484,10 @@ class LocalRunner:
             if c_rows is not None:
                 rows_by_chunk[i] = c_rows
                 skipped["C"] += 1
+                obs.counter_add(
+                    "repro_local_chunks_total", 1,
+                    {"phase": "C", "outcome": "skipped"},
+                )
             else:
                 pending_c.append(i)
 
@@ -466,6 +496,10 @@ class LocalRunner:
             if ckpt is not None:
                 ckpt.store_c_chunk(index, rows)
             executed["C"] += 1
+            obs.counter_add(
+                "repro_local_chunks_total", 1,
+                {"phase": "C", "outcome": "executed"},
+            )
             if faults is not None:
                 faults.chunk_completed("C")
 
@@ -580,6 +614,9 @@ class LocalRunner:
                 pgd[rupture_id] = pgd_max
                 n_sets += 1
         timings["C"] = time.perf_counter() - t0
+        obs.complete("phase:C", ts=t0, dur=timings["C"],
+                     category="local", track="runner",
+                     args={"executed": executed["C"], "skipped": skipped["C"]})
 
         if ckpt is not None:
             # All chunks durable: rebuild the archive from the checkpoint

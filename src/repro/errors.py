@@ -45,6 +45,7 @@ __all__ = [
     "ServiceError",
     "QuotaExceededError",
     "BackpressureError",
+    "ObsError",
 ]
 
 
@@ -230,6 +231,15 @@ class QuotaExceededError(ServiceError):
     """
 
     retryable = False
+
+
+class ObsError(ReproError):
+    """An observability-layer operation is invalid (bad metric name, a
+    counter/gauge/histogram type conflict, malformed exposition text).
+
+    Not retryable: these are programming errors at the instrumentation
+    site, not transient faults.
+    """
 
 
 class BackpressureError(ServiceError):

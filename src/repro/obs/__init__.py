@@ -1,0 +1,61 @@
+"""Observability substrate: metrics registry, deterministic tracing, exporters.
+
+The paper's operators monitored the OSG campaign by parsing HTCondor
+log files with shell scripts after the fact; this package is the
+integrated replacement for our reproduction — one place every layer
+(LocalRunner phases, the GF/K-L caches, StashCache/federated-storage
+transfers and circuit breakers, the OSPool DES, the bursting simulator,
+and the multi-tenant portal) emits counters, histograms, and spans.
+
+Usage::
+
+    from repro import obs
+    from repro.obs.export import dump_chrome_trace, prometheus_text
+
+    with obs.observe() as run_obs:
+        run_fdw_batch(config, seed=1)
+    path.write_text(dump_chrome_trace(run_obs.tracer))
+    prom = prometheus_text(run_obs.registry)
+
+When no session is installed every hook is a single-branch no-op;
+enabling observation never perturbs RNG streams or simulated event
+order, so products and queue traces stay byte-identical (pinned by
+``tests/obs/test_identity.py``).
+"""
+
+from repro.obs.registry import DEFAULT_BUCKETS, HistogramState, MetricsRegistry
+from repro.obs.runtime import (
+    ObsSession,
+    complete,
+    counter_add,
+    declare_histogram,
+    enabled,
+    gauge_set,
+    histogram_observe,
+    histogram_observe_many,
+    instant,
+    observe,
+    session,
+    span,
+)
+from repro.obs.trace import Event, Tracer
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "HistogramState",
+    "MetricsRegistry",
+    "ObsSession",
+    "Event",
+    "Tracer",
+    "observe",
+    "session",
+    "enabled",
+    "counter_add",
+    "gauge_set",
+    "declare_histogram",
+    "histogram_observe",
+    "histogram_observe_many",
+    "span",
+    "complete",
+    "instant",
+]

@@ -1,0 +1,282 @@
+"""Labeled metrics registry: counters, gauges, fixed-bucket histograms.
+
+One registry instance holds every metric a run emits. Three metric
+kinds, mirroring the Prometheus data model so the text exposition in
+:mod:`repro.obs.export` is a direct rendering:
+
+* **counter** — monotone float total (``counter_add``),
+* **gauge** — last-write-wins float (``gauge_set``),
+* **histogram** — fixed upper-bound buckets plus sum/count
+  (``histogram_observe`` / vectorized ``histogram_observe_many``).
+
+Every series is keyed by ``(metric name, sorted label items)``. A name
+is bound to one kind on first use; a later use under a different kind
+raises :class:`~repro.errors.ObsError` — mixed-type series are the
+classic silent-aggregation bug this registry exists to kill.
+
+The registry is deliberately dumb about time: it never reads a clock,
+never draws randomness, and allocates nothing on the read path, so the
+same instrumented run always produces the same snapshot — the property
+the byte-identical-trace tests lean on.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import ObsError
+
+__all__ = ["DEFAULT_BUCKETS", "HistogramState", "MetricsRegistry"]
+
+#: Default histogram upper bounds (seconds-flavoured: from sub-ms local
+#: chunk work up to the 8-hour tail of simulated OSPool queue waits).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5,
+    1.0, 5.0, 10.0, 30.0, 60.0, 300.0,
+    1800.0, 7200.0, 28800.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+_COUNTER = "counter"
+_GAUGE = "gauge"
+_HISTOGRAM = "histogram"
+
+
+class HistogramState:
+    """Mutable state of one histogram series (one label combination)."""
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: tuple[float, ...]) -> None:
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # trailing slot = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        # ``le`` (<=) bucket semantics: a value equal to a bound lands in
+        # that bound's bucket, matching Prometheus.
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def observe_many(self, values: np.ndarray) -> None:
+        arr = np.asarray(values, dtype=float).ravel()
+        if arr.size == 0:
+            return
+        idx = np.searchsorted(self.buckets, arr, side="left")
+        hits = np.bincount(idx, minlength=len(self.counts))
+        for i, n in enumerate(hits):
+            self.counts[i] += int(n)
+        self.sum += float(arr.sum())
+        self.count += arr.size
+
+    def cumulative_counts(self) -> list[int]:
+        """Bucket counts in Prometheus cumulative (``le``) form."""
+        out, running = [], 0
+        for n in self.counts:
+            running += n
+            out.append(running)
+        return out
+
+
+def _label_key(labels: Mapping[str, object] | None) -> tuple[tuple[str, str], ...]:
+    if not labels:
+        return ()
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Holds every labeled series emitted during one observed run."""
+
+    def __init__(self) -> None:
+        self._types: dict[str, str] = {}
+        self._values: dict[tuple[str, tuple], float] = {}
+        self._hists: dict[tuple[str, tuple], HistogramState] = {}
+        self._buckets: dict[str, tuple[float, ...]] = {}
+        # Canonical-key memo: raw (insertion-ordered, unsorted) label
+        # items -> validated sorted key. Hot instrumentation sites emit
+        # the same few label combinations thousands of times; hitting
+        # this dict skips re-sorting, re-stringifying, and re-validating
+        # every time (part of the obs-overhead < 5% budget).
+        self._key_cache: dict[tuple, tuple[tuple[str, str], ...]] = {}
+
+    def _label_key_cached(
+        self, labels: Mapping[str, object] | None
+    ) -> tuple[tuple[str, str], ...]:
+        if not labels:
+            return ()
+        try:
+            raw = tuple(labels.items())
+            cached = self._key_cache.get(raw)
+        except TypeError:  # unhashable label value: take the slow path
+            self._check_labels(labels)
+            return _label_key(labels)
+        if cached is not None:
+            return cached
+        self._check_labels(labels)
+        key = _label_key(labels)
+        self._key_cache[raw] = key
+        return key
+
+    # -- registration ------------------------------------------------------
+
+    def _bind(self, name: str, kind: str) -> None:
+        known = self._types.get(name)
+        if known is None:
+            if not _NAME_RE.match(name):
+                raise ObsError(f"invalid metric name {name!r}")
+            self._types[name] = kind
+        elif known != kind:
+            raise ObsError(
+                f"metric {name!r} already registered as {known}, "
+                f"cannot use as {kind}"
+            )
+
+    @staticmethod
+    def _check_labels(labels: Mapping[str, object] | None) -> None:
+        if labels:
+            for k in labels:
+                if not _LABEL_RE.match(k):
+                    raise ObsError(f"invalid label name {k!r}")
+
+    def declare_histogram(
+        self, name: str, buckets: Iterable[float] = DEFAULT_BUCKETS
+    ) -> None:
+        """Pin a histogram's bucket bounds (strictly ascending, finite).
+
+        Optional — the first ``histogram_observe`` call binds
+        :data:`DEFAULT_BUCKETS` otherwise. Re-declaring with different
+        bounds raises (bucket drift would corrupt merged series).
+        """
+        self._bind(name, _HISTOGRAM)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(not np.isfinite(b) for b in bounds):
+            raise ObsError(f"histogram {name!r}: buckets must be finite and non-empty")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ObsError(f"histogram {name!r}: buckets must be strictly ascending")
+        known = self._buckets.get(name)
+        if known is not None and known != bounds:
+            raise ObsError(f"histogram {name!r}: conflicting bucket declarations")
+        self._buckets[name] = bounds
+
+    # -- writes ------------------------------------------------------------
+
+    def counter_add(
+        self,
+        name: str,
+        value: float = 1.0,
+        labels: Mapping[str, object] | None = None,
+    ) -> None:
+        if value < 0:
+            raise ObsError(f"counter {name!r}: negative increment {value!r}")
+        self._bind(name, _COUNTER)
+        key = (name, self._label_key_cached(labels))
+        self._values[key] = self._values.get(key, 0.0) + float(value)
+
+    def gauge_set(
+        self,
+        name: str,
+        value: float,
+        labels: Mapping[str, object] | None = None,
+    ) -> None:
+        self._bind(name, _GAUGE)
+        self._values[(name, self._label_key_cached(labels))] = float(value)
+
+    def _hist_state(
+        self, name: str, labels: Mapping[str, object] | None
+    ) -> HistogramState:
+        self._bind(name, _HISTOGRAM)
+        key = (name, self._label_key_cached(labels))
+        state = self._hists.get(key)
+        if state is None:
+            bounds = self._buckets.setdefault(name, DEFAULT_BUCKETS)
+            state = self._hists[key] = HistogramState(bounds)
+        return state
+
+    def histogram_observe(
+        self,
+        name: str,
+        value: float,
+        labels: Mapping[str, object] | None = None,
+    ) -> None:
+        self._hist_state(name, labels).observe(value)
+
+    def histogram_observe_many(
+        self,
+        name: str,
+        values: Iterable[float] | np.ndarray,
+        labels: Mapping[str, object] | None = None,
+    ) -> None:
+        arr = values if isinstance(values, np.ndarray) else np.asarray(
+            list(values), dtype=float
+        )
+        self._hist_state(name, labels).observe_many(arr)
+
+    # -- reads -------------------------------------------------------------
+
+    def kind(self, name: str) -> str | None:
+        return self._types.get(name)
+
+    def counter_value(
+        self, name: str, labels: Mapping[str, object] | None = None
+    ) -> float:
+        return self._values.get((name, _label_key(labels)), 0.0)
+
+    def gauge_value(
+        self, name: str, labels: Mapping[str, object] | None = None
+    ) -> float:
+        return self._values.get((name, _label_key(labels)), 0.0)
+
+    def histogram_state(
+        self, name: str, labels: Mapping[str, object] | None = None
+    ) -> HistogramState | None:
+        return self._hists.get((name, _label_key(labels)))
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter across all of its label combinations."""
+        return sum(v for (n, _), v in self._values.items()
+                   if n == name and self._types.get(n) == _COUNTER)
+
+    def names(self) -> list[str]:
+        return sorted(self._types)
+
+    def snapshot(self) -> dict:
+        """Plain-dict view of every series, deterministically ordered.
+
+        Shape: ``{name: {"type": kind, "series": [{"labels": {...},
+        "value"| "sum"/"count"/"buckets"/"counts": ...}, ...]}}`` with
+        series sorted by label items — stable input for exporters and
+        byte-identity tests.
+        """
+        out: dict = {}
+        for name in self.names():
+            kind = self._types[name]
+            series: list[dict] = []
+            if kind == _HISTOGRAM:
+                rows = sorted(
+                    (lk, st) for (n, lk), st in self._hists.items() if n == name
+                )
+                for lk, st in rows:
+                    series.append({
+                        "labels": dict(lk),
+                        "buckets": list(st.buckets),
+                        "counts": list(st.counts),
+                        "sum": st.sum,
+                        "count": st.count,
+                    })
+            else:
+                rows = sorted(
+                    (lk, v) for (n, lk), v in self._values.items() if n == name
+                )
+                for lk, v in rows:
+                    series.append({"labels": dict(lk), "value": v})
+            out[name] = {"type": kind, "series": series}
+        return out

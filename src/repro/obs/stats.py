@@ -1,0 +1,54 @@
+"""Shared percentile/summary math for every stats surface.
+
+Before this module, p50/p99 computations were hand-rolled in three
+places (the portal service's ``wait_percentile``, the portal bench, and
+the job-timeline bench) with subtly different index conventions. This is
+the single implementation: **nearest-rank on the sorted sample**, index
+``round(p / 100 * (n - 1))`` — the convention the portal service
+shipped with and its tests pin.
+
+Deliberately NOT the same as ``np.percentile``'s default linear
+interpolation: these helpers answer "which observed value sat at that
+rank", which is what queue-wait and makespan reporting wants (an actual
+job's wait, not a synthetic blend of two).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ObsError
+
+__all__ = ["percentile", "percentiles"]
+
+
+def percentiles(
+    values: Sequence[float] | np.ndarray,
+    ps: Iterable[float],
+) -> list[float]:
+    """Nearest-rank percentiles of ``values`` at each ``p`` in ``ps``.
+
+    Empty input returns ``0.0`` for every requested percentile (the
+    "no observations yet" convention every caller already used). A ``p``
+    outside ``[0, 100]`` raises :class:`~repro.errors.ObsError`.
+    """
+    requested = [float(p) for p in ps]
+    for p in requested:
+        if not 0.0 <= p <= 100.0:
+            raise ObsError(f"percentile must be in [0, 100], got {p}")
+    arr = np.asarray(values, dtype=float).ravel()
+    if arr.size == 0:
+        return [0.0 for _ in requested]
+    ordered = np.sort(arr)
+    n = ordered.size
+    # int(round(...)) — not int(...) — so p=50 of an even-sized sample
+    # picks the upper middle element, matching the service's pinned
+    # wait_percentile behaviour.
+    return [float(ordered[int(round(p / 100.0 * (n - 1)))]) for p in requested]
+
+
+def percentile(values: Sequence[float] | np.ndarray, p: float) -> float:
+    """Scalar convenience wrapper over :func:`percentiles`."""
+    return percentiles(values, (p,))[0]

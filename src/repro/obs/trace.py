@@ -1,0 +1,157 @@
+"""Deterministic structured tracing: nested spans over an injected clock.
+
+A :class:`Tracer` records a flat, append-only list of events; nesting is
+by time containment per *track* (a named timeline — one per DAGMan, per
+portal tenant, per local phase group), exactly how Chrome's
+``trace_event`` viewers reconstruct span trees.
+
+Two ways to put time on an event:
+
+* **measured** — ``tracer.span(...)`` samples the tracer's injected
+  clock at enter/exit. The default clock is ``time.perf_counter`` (wall
+  time); tests and deterministic drivers inject their own callable.
+* **stated** — ``tracer.complete(name, ts, dur)`` /
+  ``tracer.instant(name, ts)`` carry explicit timestamps. Every
+  simulator in this repository (OSPool DES, bursting replay, the
+  portal's virtual clock) emits *its own virtual time* this way, so an
+  instrumented simulation run produces a byte-identical trace for a
+  fixed seed: the events depend only on simulated state, never on the
+  host's wall clock.
+
+The tracer allocates one small tuple-backed record per event and reads
+no global state, keeping the enabled-path cost inside the obs overhead
+budget (asserted in ``benchmarks/bench_obs_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Mapping
+
+from repro.errors import ObsError
+
+__all__ = ["PH_COMPLETE", "PH_INSTANT", "Event", "Tracer"]
+
+PH_COMPLETE = "X"
+PH_INSTANT = "i"
+
+
+class Event:
+    """One recorded trace event (times in seconds, wall or virtual)."""
+
+    __slots__ = ("phase", "name", "category", "track", "ts", "dur", "args")
+
+    def __init__(
+        self,
+        phase: str,
+        name: str,
+        category: str,
+        track: str,
+        ts: float,
+        dur: float,
+        args: Mapping[str, object] | None,
+    ) -> None:
+        self.phase = phase
+        self.name = name
+        self.category = category
+        self.track = track
+        self.ts = ts
+        self.dur = dur
+        self.args = dict(args) if args else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Event({self.phase!r}, {self.name!r}, cat={self.category!r}, "
+            f"track={self.track!r}, ts={self.ts}, dur={self.dur})"
+        )
+
+
+class _SpanHandle:
+    """Context manager returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_name", "_category", "_track", "_args", "_start")
+
+    def __init__(self, tracer: Tracer, name: str, category: str,
+                 track: str, args: Mapping[str, object] | None) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._category = category
+        self._track = track
+        self._args = args
+        self._start = 0.0
+
+    def __enter__(self) -> "_SpanHandle":
+        self._start = self._tracer.clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        tracer = self._tracer
+        end = tracer.clock()
+        tracer.complete(
+            self._name,
+            self._start,
+            end - self._start,
+            category=self._category,
+            track=self._track,
+            args=self._args,
+        )
+
+
+class Tracer:
+    """Append-only event recorder with an injected clock."""
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self.clock: Callable[[], float] = clock or time.perf_counter
+        self.events: list[Event] = []
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- measured spans ----------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        category: str = "",
+        track: str = "main",
+        args: Mapping[str, object] | None = None,
+    ) -> _SpanHandle:
+        """Context manager: clock at enter/exit, one complete event."""
+        return _SpanHandle(self, name, category, track, args)
+
+    # -- stated-time events ------------------------------------------------
+
+    def complete(
+        self,
+        name: str,
+        ts: float,
+        dur: float,
+        category: str = "",
+        track: str = "main",
+        args: Mapping[str, object] | None = None,
+    ) -> None:
+        """Record a finished span with explicit start time and duration."""
+        if dur < 0:
+            raise ObsError(f"span {name!r}: negative duration {dur!r}")
+        self.events.append(
+            Event(PH_COMPLETE, name, category, track, float(ts), float(dur), args)
+        )
+
+    def instant(
+        self,
+        name: str,
+        ts: float | None = None,
+        category: str = "",
+        track: str = "main",
+        args: Mapping[str, object] | None = None,
+    ) -> None:
+        """Record a point-in-time marker (clock sampled when ``ts=None``)."""
+        stamp = self.clock() if ts is None else float(ts)
+        self.events.append(Event(PH_INSTANT, name, category, track, stamp, 0.0, args))
+
+    def tracks(self) -> list[str]:
+        """Track names in first-appearance order (stable tid mapping)."""
+        seen: dict[str, None] = {}
+        for ev in self.events:
+            seen.setdefault(ev.track, None)
+        return list(seen)

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.obs.stats import percentiles
 from repro.units import jobs_per_minute
 
 __all__ = ["JobRecord", "DagmanSummary", "PoolMetrics"]
@@ -146,6 +147,24 @@ class PoolMetrics:
             and (dagman is None or r.dagman == dagman)
         ]
         return np.sort(np.array(vals))
+
+    def wait_percentiles(
+        self,
+        ps: tuple[float, ...] = (50.0, 90.0, 99.0),
+        phase: str | None = None,
+        dagman: str | None = None,
+    ) -> list[float]:
+        """Nearest-rank queue-wait percentiles (shared obs.stats math)."""
+        return percentiles(self.wait_times_s(phase, dagman), ps)
+
+    def exec_percentiles(
+        self,
+        ps: tuple[float, ...] = (50.0, 90.0, 99.0),
+        phase: str | None = None,
+        dagman: str | None = None,
+    ) -> list[float]:
+        """Nearest-rank execution-time percentiles (shared obs.stats math)."""
+        return percentiles(self.exec_times_s(phase, dagman), ps)
 
     # -- time series ------------------------------------------------------------
 

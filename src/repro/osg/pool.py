@@ -23,6 +23,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.condor.dagfile import DagDescription
 from repro.condor.dagman import DagmanEngine, DagmanOptions
@@ -332,6 +333,12 @@ class OSPoolSimulator:
         free = max(0, self._capacity - len(self._running))
         queues = [d.queue for d in self._dagmans.values() if not d.finished]
         matches = negotiate(queues, free, self.config.negotiator)
+        if obs.enabled():
+            obs.counter_add("repro_pool_negotiation_cycles_total", 1,
+                            {"engine": "reference"})
+            if matches:
+                obs.counter_add("repro_pool_matches_total", len(matches),
+                                {"engine": "reference"})
         for queue, node_name, job in matches:
             run = self._dagmans[queue.name]
             self._start_job(run, node_name, job)
@@ -484,6 +491,12 @@ class OSPoolSimulator:
         free = max(0, self._capacity - len(self._running_v))
         queues = [d.queue for d in self._dagmans.values() if not d.finished]
         matches = negotiate_vectorized(queues, free, self.config.negotiator)
+        if obs.enabled():
+            obs.counter_add("repro_pool_negotiation_cycles_total", 1,
+                            {"engine": "vector"})
+            if matches:
+                obs.counter_add("repro_pool_matches_total", len(matches),
+                                {"engine": "vector"})
         if matches:
             now = self.sim.now
             dagmans = self._dagmans
@@ -870,7 +883,51 @@ class OSPoolSimulator:
             },
             capacity_trace=list(self._capacity_trace),
         )
+        self._observe_run(metrics)
         return metrics
+
+    def _observe_run(self, metrics: PoolMetrics) -> None:
+        """Emit the finished run's telemetry (both engines, virtual time).
+
+        Per-DAGMan spans carry *simulation* timestamps, and the queue
+        waits / exec times come from the final records — so the trace is
+        a pure function of the seeded simulation, byte-identical across
+        repeats, and identical between the reference and vector engines
+        (which produce identical records by construction).
+        """
+        if not obs.enabled():
+            return
+        self.cache.observe_flush()
+        engine = "vector" if self._vector else "reference"
+        for name in sorted(metrics.dagmans):
+            s = metrics.dagmans[name]
+            obs.complete(
+                f"dagman:{name}",
+                ts=s.submit_time,
+                dur=max(0.0, s.end_time - s.submit_time),
+                category="pool",
+                track=f"dagman:{name}",
+                args={"n_jobs": s.n_jobs, "engine": engine},
+            )
+        if metrics.records:
+            obs.histogram_observe_many(
+                "repro_pool_queue_wait_seconds",
+                np.fromiter((r.wait_s for r in metrics.records), dtype=float,
+                            count=len(metrics.records)),
+            )
+            obs.histogram_observe_many(
+                "repro_pool_exec_seconds",
+                np.fromiter((r.exec_s for r in metrics.records), dtype=float,
+                            count=len(metrics.records)),
+            )
+            n_success = sum(1 for r in metrics.records if r.success)
+            if n_success:
+                obs.counter_add("repro_pool_jobs_total", n_success,
+                                {"outcome": "success"})
+            if n_success < len(metrics.records):
+                obs.counter_add("repro_pool_jobs_total",
+                                len(metrics.records) - n_success,
+                                {"outcome": "failed"})
 
     # -- introspection --------------------------------------------------------------
 

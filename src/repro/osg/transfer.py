@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.condor.jobs import JobSpec
 from repro.resilience import RetryPolicy
@@ -130,8 +131,12 @@ class StashCache:
         self.n_transfer_faults = 0
         self.n_transfer_retries = 0
         self.n_degraded_transfers = 0
+        self.cold_mb_total = 0.0
+        self.warm_mb_total = 0.0
+        self.degraded_mb_total = 0.0
         self.total_transfer_seconds = 0.0
         self.total_backoff_seconds = 0.0
+        self._obs_flushed: dict[str, float] = {}
 
     def reset(self) -> None:
         """Drop all cache state (a fresh campaign)."""
@@ -142,8 +147,12 @@ class StashCache:
         self.n_transfer_faults = 0
         self.n_transfer_retries = 0
         self.n_degraded_transfers = 0
+        self.cold_mb_total = 0.0
+        self.warm_mb_total = 0.0
+        self.degraded_mb_total = 0.0
         self.total_transfer_seconds = 0.0
         self.total_backoff_seconds = 0.0
+        self._obs_flushed = {}
         if self.faults is not None:
             self.faults.reset()
 
@@ -169,11 +178,13 @@ class StashCache:
             if filename in site_cache:
                 bw = cfg.cache_mb_per_s
                 self.n_warm_transfers += 1
+                self.warm_mb_total += size_mb
                 site_cache.move_to_end(filename)
             else:
                 bw = cfg.origin_mb_per_s
                 site_cache[filename] = None
                 self.n_cold_transfers += 1
+                self.cold_mb_total += size_mb
                 if (
                     cfg.max_entries_per_site is not None
                     and len(site_cache) > cfg.max_entries_per_site
@@ -185,6 +196,44 @@ class StashCache:
         # transfer and would dilute cache-efficiency accounting.
         self.total_transfer_seconds += total - cfg.setup_overhead_s
         return total
+
+    def observe_flush(self) -> None:
+        """Emit obs counters for transfer activity since the last flush.
+
+        The per-file delivery loop only bumps plain attributes (which it
+        tracked already); obs counters are emitted here, once per pool
+        run, so an observed replay's per-job hot path pays nothing —
+        the obs-overhead budget could not absorb a counter per file.
+        Deltas against the last flush keep repeated runs over one cache
+        from double-counting.
+        """
+        if not obs.enabled():
+            return
+        for name, labels, value in (
+            ("repro_transfer_files_total", {"temperature": "cold"},
+             float(self.n_cold_transfers)),
+            ("repro_transfer_files_total", {"temperature": "warm"},
+             float(self.n_warm_transfers)),
+            ("repro_transfer_mb_total", {"temperature": "cold"},
+             self.cold_mb_total),
+            ("repro_transfer_mb_total", {"temperature": "warm"},
+             self.warm_mb_total),
+            ("repro_transfer_mb_total", {"temperature": "degraded"},
+             self.degraded_mb_total),
+            ("repro_transfer_evictions_total", {}, float(self.n_evictions)),
+            ("repro_transfer_faults_total", {}, float(self.n_transfer_faults)),
+            ("repro_transfer_retries_total", {},
+             float(self.n_transfer_retries)),
+            ("repro_transfer_degraded_total", {},
+             float(self.n_degraded_transfers)),
+            ("repro_transfer_backoff_seconds_total", {},
+             self.total_backoff_seconds),
+        ):
+            key = name + "|" + "|".join(sorted(labels.values()))
+            delta = value - self._obs_flushed.get(key, 0.0)
+            if delta > 0.0:
+                obs.counter_add(name, delta, labels)
+                self._obs_flushed[key] = value
 
     def transfer_time(self, spec: JobSpec, rng: np.random.Generator) -> float:
         """Seconds to stage all of a job's inputs at a random site.
@@ -219,6 +268,7 @@ class StashCache:
         # Retries exhausted: the job pulls everything straight from the
         # origin, bypassing the cache path. Expensive but always lands.
         self.n_degraded_transfers += 1
+        self.degraded_mb_total += sum(files.values())
         direct = sum(files.values()) / cfg.origin_mb_per_s
         self.total_transfer_seconds += direct
         return total + cfg.setup_overhead_s + direct

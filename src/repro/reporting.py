@@ -27,7 +27,11 @@ def sparkline(series: Sequence[float] | np.ndarray, width: int = 48) -> str:
 
     The series is split into ``width`` bins; each bin's mean maps to a
     character from light to dark. An empty series renders as an empty
-    string; a constant-zero series as all-blank.
+    string; a constant-zero series as all-blank; a constant non-zero
+    series as a flat ``-`` line. Series containing negative values are
+    scaled by their full range (so indexes never wrap negative into the
+    palette — the old top-scaling rendered ``[-1, 1]`` with artifact
+    characters).
     """
     if width < 1:
         raise ReproError(f"width must be >= 1, got {width}")
@@ -38,10 +42,21 @@ def sparkline(series: Sequence[float] | np.ndarray, width: int = 48) -> str:
         arr = np.nan_to_num(arr, nan=0.0, posinf=0.0, neginf=0.0)
     bins = np.array_split(arr, min(width, arr.size))
     means = np.array([b.mean() for b in bins])
+    lo = means.min()
     top = means.max()
-    if top <= 0:
-        return " " * len(means)
-    idx = (means / top * (len(_BLOCKS) - 1)).astype(int)
+    if lo >= 0.0:
+        if top <= 0.0:
+            return " " * len(means)
+        scaled = means / top
+    else:
+        span = top - lo
+        if span <= 0.0:
+            # constant negative series: flat line, not blank (blank
+            # would be indistinguishable from "no signal")
+            return "-" * len(means)
+        scaled = (means - lo) / span
+    idx = np.clip((scaled * (len(_BLOCKS) - 1)).astype(int), 0,
+                  len(_BLOCKS) - 1)
     return "".join(_BLOCKS[i] for i in idx)
 
 
@@ -86,10 +101,16 @@ def render_table(
 
 
 def series_summary_row(label: str, series: Sequence[float] | np.ndarray) -> str:
-    """One-line summary: ``label  mean=... sd=... min=... max=...``."""
+    """One-line summary: ``label  mean=... sd=... min=... max=...``.
+
+    An empty series renders as an explicit ``n=0`` row rather than
+    raising or emitting NaN-mean warnings — summary rows appear in
+    reports for runs that may legitimately have produced no samples
+    (e.g. a tenant that never queued).
+    """
     arr = np.asarray(series, dtype=float)
     if arr.size == 0:
-        raise ReproError(f"empty series for {label!r}")
+        return f"{label}: (no samples, n=0)"
     return (
         f"{label}: mean={np.mean(arr):.2f} sd={np.std(arr):.2f} "
         f"min={np.min(arr):.2f} max={np.max(arr):.2f} (n={arr.size})"

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.errors import CircuitOpenError, ReproError, SimulationError
 from repro.rng import RngFactory
 
@@ -205,6 +206,12 @@ def retry_call(
                 raise
             delay = plan[attempt - 1]
             delays.append(delay)
+            if obs.enabled():
+                obs.counter_add(
+                    "repro_retry_attempts_total", 1,
+                    {"error": type(exc).__name__},
+                )
+                obs.counter_add("repro_retry_backoff_seconds_total", delay)
             if on_retry is not None:
                 on_retry(attempt, exc, delay)
             if sleep is not None:
@@ -315,15 +322,24 @@ class CircuitBreaker:
         if self._state == BREAKER_OPEN:
             if now - self._opened_at >= self.policy.cooldown_s:
                 self._state = BREAKER_HALF_OPEN
+                self._observe_transition(BREAKER_HALF_OPEN, now)
                 return True
             self.n_rejected += 1
+            obs.counter_add(
+                "repro_breaker_rejections_total", 1, {"breaker": self.name}
+            )
             return False
         # half-open: one probe is already in flight
         self.n_rejected += 1
+        obs.counter_add(
+            "repro_breaker_rejections_total", 1, {"breaker": self.name}
+        )
         return False
 
     def record_success(self) -> None:
         """Report a successful call (closes a half-open breaker)."""
+        if self._state != BREAKER_CLOSED:
+            self._observe_transition(BREAKER_CLOSED, None)
         self._state = BREAKER_CLOSED
         self._consecutive_failures = 0
 
@@ -337,6 +353,23 @@ class CircuitBreaker:
             self._state = BREAKER_OPEN
             self._opened_at = now
             self.n_opens += 1
+            self._observe_transition(BREAKER_OPEN, now)
+
+    def _observe_transition(self, to: str, now: float | None) -> None:
+        """Emit one state transition (counter + trace marker)."""
+        if not obs.enabled():
+            return
+        obs.counter_add(
+            "repro_breaker_transitions_total", 1,
+            {"breaker": self.name, "to": to},
+        )
+        # The open/half-open edges carry the injected clock; closing via
+        # record_success has no timestamp, so it stays counter-only.
+        if now is not None:
+            obs.instant(
+                f"breaker:{self.name}:{to}", ts=now, category="resilience",
+                track="breakers",
+            )
 
     def call(self, fn: Callable[[], object], now: float) -> object:
         """Guarded invocation: reject fast when open, else record the

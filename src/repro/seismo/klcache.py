@@ -46,6 +46,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.errors import CacheError, IntegrityError, ReproError
 from repro.integrity import (
     quarantine_artifact,
@@ -112,6 +113,21 @@ class KLCacheStats:
     def lookups(self) -> int:
         """Total lookups."""
         return self.hits + self.misses
+
+
+def _observe_kl_lookup(outcome: str, basis) -> None:
+    """Emit one K-L lookup into the obs registry (no-op when disabled)."""
+    if not obs.enabled():
+        return
+    obs.counter_add(
+        "repro_cache_lookups_total", 1, {"cache": "kl", "outcome": outcome}
+    )
+    if basis is not None:
+        obs.counter_add(
+            "repro_cache_bytes_total",
+            basis.eigenvalues.nbytes + basis.eigenvectors.nbytes,
+            {"cache": "kl", "event": "hit"},
+        )
 
 
 class KLCache:
@@ -214,6 +230,7 @@ class KLCache:
         if basis is not None:
             self._memory.move_to_end(key)
             self.stats.memory_hits += 1
+            _observe_kl_lookup("memory_hit", basis)
             return basis
         path = self.disk_path(key)
         if path is not None and path.exists():
@@ -221,14 +238,19 @@ class KLCache:
                 basis = self._load_disk(path)
             except IntegrityError as exc:
                 self.stats.integrity_failures += 1
+                obs.counter_add(
+                    "repro_cache_integrity_failures_total", 1, {"cache": "kl"}
+                )
                 self.quarantined.append(
                     quarantine_artifact(path, reason=str(exc))
                 )
             else:
                 self._remember(key, basis)
                 self.stats.disk_hits += 1
+                _observe_kl_lookup("disk_hit", basis)
                 return basis
         self.stats.misses += 1
+        _observe_kl_lookup("miss", None)
         return None
 
     def _load_disk(self, path: Path) -> KarhunenLoeveBasis:
@@ -269,6 +291,13 @@ class KLCache:
                     f"cannot write K-L basis to cache_dir {self.cache_dir}: {exc}"
                 ) from exc
         self.stats.stores += 1
+        if obs.enabled():
+            obs.counter_add("repro_cache_stores_total", 1, {"cache": "kl"})
+            obs.counter_add(
+                "repro_cache_bytes_total",
+                basis.eigenvalues.nbytes + basis.eigenvectors.nbytes,
+                {"cache": "kl", "event": "store"},
+            )
 
     def _remember(self, key: str, basis: KarhunenLoeveBasis) -> None:
         self._memory[key] = basis

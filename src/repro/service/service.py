@@ -46,9 +46,11 @@ import asyncio
 import heapq
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.condor.jobs import Job, JobSpec, JobState
 from repro.core.config import FdwConfig
 from repro.errors import BackpressureError, QuotaExceededError, ServiceError
+from repro.obs.stats import percentile
 from repro.osg.negotiator import NegotiatorConfig, negotiate
 from repro.osg.schedd import ScheddQueue
 from repro.service.clock import Clock, VirtualClock
@@ -155,14 +157,14 @@ class ServiceStats:
         return self.n_coalesced / self.n_submitted
 
     def wait_percentile(self, p: float) -> float:
-        """Nearest-rank percentile of the per-ticket queue waits."""
+        """Nearest-rank percentile of the per-ticket queue waits.
+
+        Validation stays on the service taxonomy (:class:`ServiceError`);
+        the math is the shared :func:`repro.obs.stats.percentile`.
+        """
         if not (0.0 <= p <= 100.0):
             raise ServiceError(f"percentile must be in [0, 100], got {p}")
-        if not self.queue_waits_s:
-            return 0.0
-        ordered = sorted(self.queue_waits_s)
-        index = int(round(p / 100.0 * (len(ordered) - 1)))
-        return ordered[index]
+        return percentile(self.queue_waits_s, p)
 
 
 class _Entry:
@@ -416,6 +418,10 @@ class PortalService:
         now = self.clock.now()
         if self._pending.get(tenant, 0) >= self.quota.max_pending_per_tenant:
             self.stats.n_quota_rejected += 1
+            obs.counter_add(
+                "repro_service_admissions_total", 1,
+                {"tenant": tenant, "outcome": "quota_rejected"},
+            )
             raise QuotaExceededError(
                 f"tenant {tenant!r} has {self._pending[tenant]} pending "
                 f"submission(s), the per-tenant quota "
@@ -427,10 +433,18 @@ class PortalService:
         if entry is not None and not entry.future.done():
             ticket = self._make_ticket(tenant, entry, now, coalesced=True)
             self.stats.n_coalesced += 1
+            obs.counter_add(
+                "repro_service_admissions_total", 1,
+                {"tenant": tenant, "outcome": "coalesced"},
+            )
             self._record(now, "coalesce", tenant, ticket.ticket_id, entry.entry_id)
             return ticket
         if self._n_queued >= self.quota.max_queue_depth:
             self.stats.n_backpressure_rejected += 1
+            obs.counter_add(
+                "repro_service_admissions_total", 1,
+                {"tenant": tenant, "outcome": "backpressure_rejected"},
+            )
             raise BackpressureError(
                 f"submission queue is full ({self._n_queued} waiting, "
                 f"cap {self.quota.max_queue_depth}); back off and retry"
@@ -458,6 +472,10 @@ class PortalService:
         self._n_queued += 1
         self._idle.clear()
         ticket = self._make_ticket(tenant, entry, now, coalesced=False)
+        obs.counter_add(
+            "repro_service_admissions_total", 1,
+            {"tenant": tenant, "outcome": "accepted"},
+        )
         self._record(now, "submit", tenant, ticket.ticket_id, entry_id)
         self._wake.set()
         return ticket
@@ -605,14 +623,26 @@ class PortalService:
             entry.job.transition(JobState.COMPLETED, finish)
             self.stats.n_executed += 1
             for ticket in entry.tickets:
-                self.stats.queue_waits_s.append(
-                    max(0.0, entry.started_at - ticket.submitted_at)
+                wait = max(0.0, entry.started_at - ticket.submitted_at)
+                self.stats.queue_waits_s.append(wait)
+                obs.histogram_observe(
+                    "repro_service_queue_wait_seconds", wait,
+                    {"tenant": ticket.tenant},
+                )
+            if obs.enabled() and entry.outcome is not None:
+                obs.counter_add(
+                    "repro_service_runs_total", 1,
+                    {"backend": entry.outcome.backend, "outcome": "success"},
                 )
             self._record(finish, "finish", entry.tenant, "", entry.entry_id)
             entry.future.set_result(entry)
         else:
             entry.job.transition(JobState.FAILED, finish)
             self.stats.n_failed += 1
+            obs.counter_add(
+                "repro_service_runs_total", 1,
+                {"backend": self.runner.name, "outcome": "failed"},
+            )
             self._record(finish, "fail", entry.tenant, "", entry.entry_id)
             entry.future.set_exception(entry.error)
 

@@ -39,6 +39,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Iterable
 
+from repro import obs
 from repro.errors import StorageError, StorageUnavailableError
 from repro.resilience import BreakerPolicy, CircuitBreaker
 
@@ -298,8 +299,12 @@ class FederatedStorage:
         if now is None or self.breaker_policy is None:
             # Legacy path: every site is implicitly healthy.
             if home_site in replicas:
+                obs.counter_add("repro_storage_transfer_mb_total", size,
+                                {"path": "local"})
                 return size / home.local_mb_per_s
             elapsed = size / home.wan_mb_per_s
+            obs.counter_add("repro_storage_transfer_mb_total", size,
+                            {"path": "wan"})
             if cache and self._usage_mb[home_site] + size <= home.capacity_mb:
                 replicas.add(home_site)
                 self._usage_mb[home_site] += size
@@ -325,9 +330,16 @@ class FederatedStorage:
             breaker.record_success()
             if source != candidates[0]:
                 self.n_failovers += 1
+                obs.counter_add("repro_storage_failovers_total")
+            if penalty > 0.0:
+                obs.counter_add("repro_storage_probe_seconds_total", penalty)
             if source == home_site:
+                obs.counter_add("repro_storage_transfer_mb_total", size,
+                                {"path": "local"})
                 return penalty + size / home.local_mb_per_s
             elapsed = penalty + size / home.wan_mb_per_s
+            obs.counter_add("repro_storage_transfer_mb_total", size,
+                            {"path": "wan"})
             if (
                 cache
                 and self.site_healthy(home_site, now + penalty)
@@ -438,6 +450,7 @@ class FederatedStorage:
             bank = rebuild()
             cache.put(key, bank)
             self.n_rebuilds += 1
+            obs.counter_add("repro_storage_rebuilds_total")
             return bank, float(getattr(exc, "penalty_s", 0.0))
         bank = cache.get(key)
         if bank is None:
@@ -448,6 +461,7 @@ class FederatedStorage:
             bank = rebuild()
             cache.put(key, bank)
             self.n_rebuilds += 1
+            obs.counter_add("repro_storage_rebuilds_total")
         return bank, elapsed
 
     def materialize(self, product_id: str) -> Path | None:

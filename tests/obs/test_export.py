@@ -1,0 +1,188 @@
+"""Exporter round-trips: Chrome trace JSON, Prometheus text, summary."""
+
+import json
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.export import (
+    chrome_trace,
+    dump_chrome_trace,
+    parse_prometheus_text,
+    prometheus_text,
+    render_summary,
+    service_timeline,
+    validate_chrome_trace,
+)
+
+
+def _sample_tracer():
+    tracer = Tracer()
+    tracer.complete("phase:A", ts=0.5, dur=2.0, category="local",
+                    track="runner", args={"executed": 3})
+    tracer.complete("dagman:demo", ts=0.0, dur=3600.0, category="pool",
+                    track="dagman:demo")
+    tracer.instant("checkpoint", ts=1.0, category="local", track="runner")
+    return tracer
+
+
+class TestChromeTrace:
+    def test_structure_and_validation(self):
+        doc = chrome_trace(_sample_tracer())
+        assert validate_chrome_trace(doc) == len(doc["traceEvents"])
+        # Metadata: one process_name + one thread_name per track.
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert {"repro", "runner", "dagman:demo"} <= names
+
+    def test_tracks_become_stable_tids(self):
+        doc = chrome_trace(_sample_tracer())
+        by_name = {e["name"]: e for e in doc["traceEvents"] if e["ph"] != "M"}
+        # runner appeared first -> tid 1; dagman second -> tid 2.
+        assert by_name["phase:A"]["tid"] == 1
+        assert by_name["dagman:demo"]["tid"] == 2
+        assert by_name["checkpoint"]["tid"] == 1
+
+    def test_times_exported_in_microseconds(self):
+        doc = chrome_trace(_sample_tracer())
+        ev = next(e for e in doc["traceEvents"] if e["name"] == "phase:A")
+        assert ev["ts"] == pytest.approx(0.5e6)
+        assert ev["dur"] == pytest.approx(2.0e6)
+
+    def test_dump_round_trips_and_is_byte_stable(self):
+        tracer = _sample_tracer()
+        text = dump_chrome_trace(tracer)
+        assert text == dump_chrome_trace(tracer)
+        assert validate_chrome_trace(json.loads(text)) > 0
+
+    def test_validate_rejects_malformed(self):
+        with pytest.raises(ObsError, match="traceEvents"):
+            validate_chrome_trace({"events": []})
+        with pytest.raises(ObsError, match="unknown phase"):
+            validate_chrome_trace(
+                {"traceEvents": [
+                    {"name": "x", "ph": "?", "pid": 1, "tid": 1}
+                ]}
+            )
+        with pytest.raises(ObsError, match="missing 'dur'"):
+            validate_chrome_trace(
+                {"traceEvents": [
+                    {"name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": 0}
+                ]}
+            )
+
+
+class TestPrometheusText:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.counter_add("repro_jobs_total", 37.0, {"outcome": "success"})
+        reg.counter_add("repro_jobs_total", 2.0, {"outcome": "failed"})
+        reg.gauge_set("repro_queue_depth", 5.0)
+        reg.declare_histogram("repro_wait_seconds", buckets=(1.0, 60.0))
+        reg.histogram_observe("repro_wait_seconds", 0.5)
+        reg.histogram_observe("repro_wait_seconds", 30.0)
+        reg.histogram_observe("repro_wait_seconds", 3000.0)
+        return reg
+
+    def test_round_trip(self):
+        reg = self._registry()
+        parsed = parse_prometheus_text(prometheus_text(reg))
+        assert parsed["types"] == {
+            "repro_jobs_total": "counter",
+            "repro_queue_depth": "gauge",
+            "repro_wait_seconds": "histogram",
+        }
+        samples = parsed["samples"]
+        assert samples[("repro_jobs_total", (("outcome", "success"),))] == 37.0
+        assert samples[("repro_queue_depth", ())] == 5.0
+        # Cumulative le buckets + the +Inf bucket equal to _count.
+        assert samples[("repro_wait_seconds_bucket", (("le", "1"),))] == 1.0
+        assert samples[("repro_wait_seconds_bucket", (("le", "60"),))] == 2.0
+        assert samples[("repro_wait_seconds_bucket", (("le", "+Inf"),))] == 3.0
+        assert samples[("repro_wait_seconds_count", ())] == 3.0
+        assert samples[("repro_wait_seconds_sum", ())] == pytest.approx(3030.5)
+
+    def test_byte_stable(self):
+        reg = self._registry()
+        assert prometheus_text(reg) == prometheus_text(reg)
+
+    def test_label_escaping_round_trips(self):
+        reg = MetricsRegistry()
+        tricky = 'quote " backslash \\ newline \n end'
+        reg.counter_add("repro_x_total", 1.0, {"site": tricky})
+        parsed = parse_prometheus_text(prometheus_text(reg))
+        assert parsed["samples"][("repro_x_total", (("site", tricky),))] == 1.0
+
+    def test_parser_rejects_malformed(self):
+        with pytest.raises(ObsError, match="malformed sample"):
+            parse_prometheus_text("this is not a sample line\n")
+        with pytest.raises(ObsError, match="bad value"):
+            parse_prometheus_text("repro_x_total nope\n")
+        with pytest.raises(ObsError, match="duplicate"):
+            parse_prometheus_text("repro_x_total 1\nrepro_x_total 2\n")
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+        assert parse_prometheus_text("") == {"types": {}, "samples": {}}
+
+
+class TestRenderSummary:
+    def test_covers_spans_markers_and_metrics(self):
+        doc = chrome_trace(_sample_tracer())
+        reg = TestPrometheusText()._registry()
+        out = render_summary(doc, prometheus_text(reg))
+        assert "spans (durations in ms):" in out
+        assert "phase:A" in out
+        assert "instant markers:" in out
+        assert "repro_jobs_total" in out
+        assert "histograms" in out
+        assert out.endswith("\n")
+
+    def test_nothing_to_summarize(self):
+        assert "nothing to summarize" in render_summary(None, None)
+
+
+class TestServiceTimeline:
+    def test_converts_seeded_demo_trace(self):
+        from repro.service import SimulatedRunner, run_service_demo
+
+        report = run_service_demo(
+            n_tenants=3, n_submissions=12, n_distinct=2, seed=7,
+            n_workers=2, runner=SimulatedRunner(),
+        )
+        tracer = service_timeline(report.trace, report.results)
+        runs = [ev for ev in tracer.events if ev.phase == "X"]
+        marks = [ev for ev in tracer.events if ev.phase == "i"]
+        # Every distinct execution that finished becomes one span...
+        finished = sum(1 for ev in report.trace if ev.event in ("finish", "fail"))
+        assert len(runs) == finished > 0
+        # ...on a tenant track, with the serving backend in args.
+        assert all(ev.track.startswith("tenant:") for ev in tracer.events)
+        assert all(ev.args.get("backend") for ev in runs)
+        assert all(ev.dur >= 0.0 for ev in runs)
+        # Submissions and coalescing hits are instant markers.
+        submits = sum(1 for ev in report.trace if ev.event in ("submit", "coalesce"))
+        assert len(marks) == submits
+
+    def test_deterministic_for_fixed_seed(self):
+        from repro.service import SimulatedRunner, run_service_demo
+
+        def dump():
+            report = run_service_demo(
+                n_tenants=3, n_submissions=12, n_distinct=2, seed=7,
+                n_workers=2, runner=SimulatedRunner(),
+            )
+            return dump_chrome_trace(service_timeline(report.trace, report.results))
+
+        assert dump() == dump()
+
+    def test_finish_without_start_raises(self):
+        from repro.service.service import TraceEvent
+
+        events = [
+            TraceEvent(seq=0, time=1.0, event="finish", tenant="t0",
+                       ticket_id="", entry_id="svc-00000"),
+        ]
+        with pytest.raises(ObsError, match="without a matching 'start'"):
+            service_timeline(events)

@@ -1,0 +1,154 @@
+"""Tests for the metrics registry (repro.obs.registry)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import DEFAULT_BUCKETS, MetricsRegistry
+
+
+class TestCounters:
+    def test_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter_add("repro_jobs_total", 2.0)
+        reg.counter_add("repro_jobs_total", 3.0)
+        assert reg.counter_value("repro_jobs_total") == 5.0
+
+    def test_labeled_series_are_independent(self):
+        reg = MetricsRegistry()
+        reg.counter_add("repro_jobs_total", 1.0, {"outcome": "success"})
+        reg.counter_add("repro_jobs_total", 4.0, {"outcome": "failed"})
+        assert reg.counter_value("repro_jobs_total", {"outcome": "success"}) == 1.0
+        assert reg.counter_value("repro_jobs_total", {"outcome": "failed"}) == 4.0
+        assert reg.counter_total("repro_jobs_total") == 5.0
+
+    def test_label_insertion_order_is_canonicalized(self):
+        """The same label set in any insertion order is one series."""
+        reg = MetricsRegistry()
+        reg.counter_add("repro_x_total", 1.0, {"a": "1", "b": "2"})
+        reg.counter_add("repro_x_total", 1.0, {"b": "2", "a": "1"})
+        assert reg.counter_value("repro_x_total", {"a": "1", "b": "2"}) == 2.0
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ObsError, match="negative"):
+            reg.counter_add("repro_x_total", -1.0)
+
+    def test_invalid_metric_name_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ObsError, match="invalid metric name"):
+            reg.counter_add("bad name")
+
+    def test_invalid_label_name_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ObsError, match="invalid label name"):
+            reg.counter_add("repro_x_total", 1.0, {"bad-label": "v"})
+
+    def test_missing_series_reads_zero(self):
+        assert MetricsRegistry().counter_value("repro_nope_total") == 0.0
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge_set("repro_depth", 3.0)
+        reg.gauge_set("repro_depth", 7.0)
+        assert reg.gauge_value("repro_depth") == 7.0
+
+
+class TestTypeConflicts:
+    def test_counter_then_gauge_raises(self):
+        reg = MetricsRegistry()
+        reg.counter_add("repro_x_total", 1.0)
+        with pytest.raises(ObsError, match="already registered as counter"):
+            reg.gauge_set("repro_x_total", 1.0)
+
+    def test_gauge_then_histogram_raises(self):
+        reg = MetricsRegistry()
+        reg.gauge_set("repro_y", 1.0)
+        with pytest.raises(ObsError, match="already registered as gauge"):
+            reg.histogram_observe("repro_y", 1.0)
+
+
+class TestHistograms:
+    def test_le_bucket_semantics(self):
+        """A value equal to a bound lands in that bound's bucket."""
+        reg = MetricsRegistry()
+        reg.declare_histogram("repro_wait_seconds", buckets=(1.0, 5.0))
+        reg.histogram_observe("repro_wait_seconds", 1.0)   # <= 1.0
+        reg.histogram_observe("repro_wait_seconds", 1.5)   # <= 5.0
+        reg.histogram_observe("repro_wait_seconds", 100.0)  # +Inf
+        state = reg.histogram_state("repro_wait_seconds")
+        assert state.counts == [1, 1, 1]
+        assert state.cumulative_counts() == [1, 2, 3]
+        assert state.count == 3
+        assert state.sum == pytest.approx(102.5)
+
+    def test_observe_many_matches_scalar_loop(self):
+        values = np.array([0.0001, 0.003, 0.5, 2.0, 59.0, 1e6])
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for v in values:
+            a.histogram_observe("repro_h", v)
+        b.histogram_observe_many("repro_h", values)
+        sa, sb = a.histogram_state("repro_h"), b.histogram_state("repro_h")
+        assert sa.counts == sb.counts
+        assert sa.sum == pytest.approx(sb.sum)
+        assert sa.count == sb.count
+
+    def test_observe_many_empty_is_noop(self):
+        reg = MetricsRegistry()
+        reg.histogram_observe_many("repro_h", [])
+        state = reg.histogram_state("repro_h")
+        # First call binds the metric but records nothing.
+        assert state is None or state.count == 0
+
+    def test_default_buckets_bound_on_first_observe(self):
+        reg = MetricsRegistry()
+        reg.histogram_observe("repro_h", 0.01)
+        assert reg.histogram_state("repro_h").buckets == DEFAULT_BUCKETS
+
+    def test_conflicting_redeclaration_raises(self):
+        reg = MetricsRegistry()
+        reg.declare_histogram("repro_h", buckets=(1.0, 2.0))
+        reg.declare_histogram("repro_h", buckets=(1.0, 2.0))  # same: fine
+        with pytest.raises(ObsError, match="conflicting"):
+            reg.declare_histogram("repro_h", buckets=(1.0, 3.0))
+
+    def test_unsorted_buckets_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ObsError, match="ascending"):
+            reg.declare_histogram("repro_h", buckets=(2.0, 1.0))
+
+    def test_nonfinite_buckets_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ObsError, match="finite"):
+            reg.declare_histogram("repro_h", buckets=(1.0, float("inf")))
+
+
+class TestSnapshot:
+    def test_shape_and_ordering(self):
+        reg = MetricsRegistry()
+        reg.counter_add("repro_b_total", 1.0, {"k": "z"})
+        reg.counter_add("repro_b_total", 2.0, {"k": "a"})
+        reg.gauge_set("repro_a", 5.0)
+        reg.histogram_observe("repro_c_seconds", 0.2, {"phase": "A"})
+        snap = reg.snapshot()
+        assert list(snap) == ["repro_a", "repro_b_total", "repro_c_seconds"]
+        assert snap["repro_b_total"]["type"] == "counter"
+        # Series sorted by label items, not insertion order.
+        assert [s["labels"] for s in snap["repro_b_total"]["series"]] == [
+            {"k": "a"}, {"k": "z"},
+        ]
+        hist = snap["repro_c_seconds"]["series"][0]
+        assert hist["labels"] == {"phase": "A"}
+        assert len(hist["counts"]) == len(hist["buckets"]) + 1
+
+    def test_snapshot_is_deterministic(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.counter_add("repro_x_total", 1.0, {"b": "2", "a": "1"})
+            reg.histogram_observe("repro_h", 3.0)
+            reg.gauge_set("repro_g", 9.0, {"site": "uw"})
+            return reg.snapshot()
+
+        assert build() == build()

@@ -1,0 +1,50 @@
+"""Tests for the shared percentile helpers (repro.obs.stats)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ObsError
+from repro.obs.stats import percentile, percentiles
+
+
+class TestPercentiles:
+    def test_empty_returns_zero_per_request(self):
+        assert percentiles([], (50.0, 99.0)) == [0.0, 0.0]
+        assert percentile([], 50.0) == 0.0
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ObsError, match=r"\[0, 100\]"):
+            percentiles([1.0], (101.0,))
+        with pytest.raises(ObsError, match=r"\[0, 100\]"):
+            percentile([1.0], -0.1)
+
+    def test_nearest_rank_picks_observed_values(self):
+        values = [4.0, 1.0, 3.0, 2.0]
+        # Sorted: [1, 2, 3, 4]; index round(p/100 * 3).
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 100.0) == 4.0
+        # p50 of an even-sized sample: round(1.5) = 2 -> upper middle.
+        assert percentile(values, 50.0) == 3.0
+        # Never a blend of two observations.
+        for p in np.linspace(0, 100, 21):
+            assert percentile(values, float(p)) in values
+
+    def test_constant_series(self):
+        assert percentiles([5.0] * 7, (1.0, 50.0, 99.0)) == [5.0, 5.0, 5.0]
+
+    def test_singleton(self):
+        assert percentiles([2.5], (0.0, 50.0, 100.0)) == [2.5, 2.5, 2.5]
+
+    def test_accepts_ndarray_and_matches_service_convention(self):
+        waits = np.arange(101, dtype=float)  # 0..100
+        assert percentile(waits, 99.0) == 99.0
+        assert percentiles(waits, (50.0,)) == [50.0]
+
+    def test_matches_portal_service_wait_percentile(self):
+        """The service's pinned semantics and the shared helper agree."""
+        from repro.service import ServiceStats
+
+        stats = ServiceStats()
+        stats.queue_waits_s = [10.0, 30.0, 20.0, 50.0, 40.0]
+        for p in (0.0, 25.0, 50.0, 75.0, 99.0, 100.0):
+            assert stats.wait_percentile(p) == percentile(stats.queue_waits_s, p)

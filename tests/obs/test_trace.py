@@ -1,0 +1,113 @@
+"""Tests for the deterministic tracer (repro.obs.trace) and runtime hooks."""
+
+import pytest
+
+from repro import obs
+from repro.errors import ObsError
+from repro.obs.trace import PH_COMPLETE, PH_INSTANT, Tracer
+
+
+class FakeClock:
+    """Injected clock: returns scripted values in order."""
+
+    def __init__(self, *values):
+        self.values = list(values)
+
+    def __call__(self):
+        return self.values.pop(0)
+
+
+class TestTracer:
+    def test_span_samples_injected_clock(self):
+        tracer = Tracer(clock=FakeClock(10.0, 12.5))
+        with tracer.span("phase:A", category="local"):
+            pass
+        (ev,) = tracer.events
+        assert (ev.phase, ev.name, ev.ts, ev.dur) == (PH_COMPLETE, "phase:A", 10.0, 2.5)
+
+    def test_nested_spans_record_inner_first(self):
+        """Spans close inner-out; containment is by time, not order."""
+        tracer = Tracer(clock=FakeClock(0.0, 1.0, 3.0, 4.0))
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.events
+        assert (inner.name, inner.ts, inner.dur) == ("inner", 1.0, 2.0)
+        assert (outer.name, outer.ts, outer.dur) == ("outer", 0.0, 4.0)
+        # Time containment: the viewer reconstructs inner under outer.
+        assert outer.ts <= inner.ts
+        assert inner.ts + inner.dur <= outer.ts + outer.dur
+
+    def test_complete_carries_stated_virtual_time(self):
+        tracer = Tracer()
+        tracer.complete("job:1", ts=1234.5, dur=60.0, track="dagman:demo")
+        (ev,) = tracer.events
+        assert (ev.ts, ev.dur, ev.track) == (1234.5, 60.0, "dagman:demo")
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ObsError, match="negative duration"):
+            Tracer().complete("bad", ts=0.0, dur=-1.0)
+
+    def test_instant_stated_and_sampled(self):
+        tracer = Tracer(clock=FakeClock(7.0))
+        tracer.instant("stated", ts=3.0)
+        tracer.instant("sampled")
+        stated, sampled = tracer.events
+        assert (stated.phase, stated.ts, stated.dur) == (PH_INSTANT, 3.0, 0.0)
+        assert sampled.ts == 7.0
+
+    def test_tracks_first_appearance_order(self):
+        tracer = Tracer()
+        tracer.instant("a", ts=0.0, track="t2")
+        tracer.instant("b", ts=1.0, track="t1")
+        tracer.instant("c", ts=2.0, track="t2")
+        assert tracer.tracks() == ["t2", "t1"]
+
+    def test_args_copied_not_aliased(self):
+        tracer = Tracer()
+        args = {"k": 1}
+        tracer.complete("x", ts=0.0, dur=1.0, args=args)
+        args["k"] = 2
+        assert tracer.events[0].args == {"k": 1}
+
+
+class TestRuntimeHooks:
+    def test_disabled_hooks_are_noops(self):
+        assert not obs.enabled()
+        assert obs.session() is None
+        obs.counter_add("repro_x_total")
+        obs.gauge_set("repro_g", 1.0)
+        obs.histogram_observe("repro_h", 1.0)
+        obs.complete("s", ts=0.0, dur=1.0)
+        obs.instant("i", ts=0.0)
+        with obs.span("noop"):
+            pass  # shared nullcontext, no tracer involved
+
+    def test_observe_installs_and_restores(self):
+        assert not obs.enabled()
+        with obs.observe() as session:
+            assert obs.enabled()
+            assert obs.session() is session
+            obs.counter_add("repro_x_total", 2.0)
+        assert not obs.enabled()
+        assert session.registry.counter_value("repro_x_total") == 2.0
+
+    def test_sessions_stack_innermost_wins(self):
+        with obs.observe() as outer:
+            obs.counter_add("repro_x_total")
+            with obs.observe() as inner:
+                obs.counter_add("repro_x_total")
+            assert obs.session() is outer
+            obs.counter_add("repro_x_total")
+        assert outer.registry.counter_value("repro_x_total") == 2.0
+        assert inner.registry.counter_value("repro_x_total") == 1.0
+
+    def test_trace_hooks_route_to_session_tracer(self):
+        with obs.observe(clock=FakeClock(1.0, 2.0)) as session:
+            with obs.span("measured"):
+                pass
+            obs.complete("stated", ts=5.0, dur=1.0)
+            obs.instant("mark", ts=6.0)
+        names = [ev.name for ev in session.tracer.events]
+        assert names == ["measured", "stated", "mark"]
+        assert session.tracer.events[0].dur == 1.0

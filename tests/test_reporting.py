@@ -35,7 +35,22 @@ class TestSparkline:
         with pytest.raises(ReproError):
             sparkline([1.0], width=0)
 
-    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=300))
+    def test_negative_values_no_palette_wrap(self):
+        # Regression: top-scaling mapped negative means to negative
+        # palette indexes, which wrapped into arbitrary characters.
+        line = sparkline([-1.0, 0.0, 1.0], width=3)
+        assert line[0] == " " and line[2] == "@"
+
+    def test_constant_negative_flat_line(self):
+        # Regression: constant negative series rendered all-blank,
+        # indistinguishable from "no signal".
+        assert sparkline([-5.0, -5.0, -5.0]) == "---"
+
+    def test_constant_positive_unchanged(self):
+        assert sparkline([3.0, 3.0]) == "@@"
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6),
+                    min_size=1, max_size=300))
     @settings(max_examples=40, deadline=None)
     def test_always_valid_characters(self, values):
         line = sparkline(values)
@@ -78,6 +93,14 @@ class TestSummaryRow:
         assert "mean=2.00" in row
         assert "n=3" in row
 
-    def test_empty_rejected(self):
-        with pytest.raises(ReproError):
-            series_summary_row("x", [])
+    def test_empty_renders_explicit_row(self):
+        # Regression: empty series used to raise, so one sample-free
+        # tenant/run broke whole-report rendering (and the naive fix of
+        # np.mean([]) would have emitted NaN + RuntimeWarning).
+        row = series_summary_row("x", [])
+        assert row == "x: (no samples, n=0)"
+
+    def test_constant_series_no_artifacts(self):
+        row = series_summary_row("flat", [7.0, 7.0, 7.0])
+        assert "mean=7.00" in row and "sd=0.00" in row
+        assert "nan" not in row.lower()
